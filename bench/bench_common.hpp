@@ -1,0 +1,64 @@
+#pragma once
+/// \file bench_common.hpp
+/// \brief Shared scaffolding for the figure-reproduction benchmarks.
+///
+/// Every binary regenerates one figure of the paper: it computes the data
+/// series on the simulated machine (cached across registered benchmarks),
+/// exposes each point as a google-benchmark counter (`sim_seconds` etc. —
+/// wall time of these benchmarks is meaningless; the simulator's virtual
+/// seconds are the measurement), and prints a paper-style table.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/dist_solve.hpp"
+#include "harness/measure.hpp"
+#include "harness/table.hpp"
+
+namespace benchfig {
+
+/// The paper's evaluation configuration (Section 4).
+inline constexpr long kPaperRows = 524288;  // 1024 x 512 grid
+inline constexpr int kPaperRanks = 2048;
+inline constexpr int kRanksPerRegion = 16;  // one CPU of a Lassen node
+inline constexpr long kWeakRowsPerRank = 256;  // 524288 rows at 2048 ranks
+
+/// Strong/weak scaling sweep (Figures 12/13).
+inline const std::vector<int>& scaling_ranks() {
+  static const std::vector<int> v{32, 64, 128, 256, 512, 1024, 2048};
+  return v;
+}
+
+/// Graph-creation sweep (Figure 6).
+inline const std::vector<int>& graph_ranks() {
+  static const std::vector<int> v{16, 64, 256, 512, 1024, 2048};
+  return v;
+}
+
+inline harness::MeasureConfig paper_config() {
+  harness::MeasureConfig cfg;
+  cfg.ranks_per_region = kRanksPerRegion;
+  return cfg;
+}
+
+/// Measurements of all four protocols for one problem instance.
+struct ProtocolSet {
+  std::vector<harness::LevelMeasurement> per[4];  // indexed by Protocol
+  const std::vector<harness::LevelMeasurement>& of(
+      harness::Protocol p) const {
+    return per[static_cast<int>(p)];
+  }
+};
+
+inline ProtocolSet measure_all(long rows, int nranks) {
+  const auto& dh = harness::paper_dist_hierarchy(rows, nranks);
+  ProtocolSet s;
+  for (harness::Protocol p : harness::kAllProtocols)
+    s.per[static_cast<int>(p)] =
+        harness::measure_protocol(dh, p, paper_config());
+  return s;
+}
+
+}  // namespace benchfig

@@ -1,0 +1,90 @@
+/// \file bench_fig07_crossover.cpp
+/// \brief Figure 7: initialization cost plus k iterations of Start+Wait for
+/// every protocol (once per AMG level each), 524 288 rows on 2048 cores.
+/// The crossover iteration counts — where an optimized collective's cheaper
+/// iterations amortize its costlier init — are the headline numbers
+/// (paper: 40 iterations for partially optimized, 22 for fully optimized).
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace benchfig;
+using harness::Protocol;
+
+struct Data {
+  double init[4] = {};  // summed over levels, per protocol
+  double iter[4] = {};
+  std::vector<double> iterations;      // x axis 0..60
+  std::vector<double> series[4];       // init + k * iter
+  int crossover_partial = -1, crossover_full = -1;
+};
+
+const Data& data() {
+  static const Data d = [] {
+    Data out;
+    ProtocolSet s = measure_all(kPaperRows, kPaperRanks);
+    for (int p = 0; p < 4; ++p) {
+      for (const auto& lm : s.per[p]) {
+        out.init[p] += lm.init_seconds;
+        out.iter[p] += lm.start_wait_seconds;
+      }
+    }
+    for (int k = 0; k <= 60; k += 5) {
+      out.iterations.push_back(k);
+      for (int p = 0; p < 4; ++p)
+        out.series[p].push_back(out.init[p] + k * out.iter[p]);
+    }
+    const int base = static_cast<int>(Protocol::hypre);
+    out.crossover_partial = harness::crossover_iterations(
+        out.init[base], out.iter[base],
+        out.init[static_cast<int>(Protocol::neighbor_partial)],
+        out.iter[static_cast<int>(Protocol::neighbor_partial)]);
+    out.crossover_full = harness::crossover_iterations(
+        out.init[base], out.iter[base],
+        out.init[static_cast<int>(Protocol::neighbor_full)],
+        out.iter[static_cast<int>(Protocol::neighbor_full)]);
+    return out;
+  }();
+  return d;
+}
+
+void BM_InitPlusIterations(benchmark::State& state) {
+  const Data& d = data();
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(p);
+  state.counters["init_sim_seconds"] = d.init[p];
+  state.counters["per_iter_sim_seconds"] = d.iter[p];
+  state.SetLabel(harness::to_string(static_cast<Protocol>(p)));
+}
+BENCHMARK(BM_InitPlusIterations)->DenseRange(0, 3)->Iterations(1);
+
+void BM_Crossover(benchmark::State& state) {
+  const Data& d = data();
+  for (auto _ : state) benchmark::DoNotOptimize(d.init[0]);
+  state.counters["crossover_partial_iters"] = d.crossover_partial;
+  state.counters["crossover_full_iters"] = d.crossover_full;
+}
+BENCHMARK(BM_Crossover)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  const Data& d = data();
+  harness::print_figure(
+      std::cout,
+      "Figure 7: init + k iterations (seconds, 524288 rows, 2048 cores)",
+      "Iterations", d.iterations,
+      {{"Standard Hypre", d.series[0]},
+       {"Standard Neighbor", d.series[1]},
+       {"Partially Optimized", d.series[2]},
+       {"Fully Optimized", d.series[3]}});
+  std::printf(
+      "crossover vs Standard Hypre: partial at %d iterations (paper: 40), "
+      "full at %d iterations (paper: 22)\n",
+      d.crossover_partial, d.crossover_full);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,66 @@
+/// \file bench_fig09_global_counts.cpp
+/// \brief Figure 9: maximum number of inter-region ("global") messages sent
+/// by any process, per AMG level (524 288 rows, 2048 cores).  Aggregation
+/// caps a rank's global messages at its share of the region's destination
+/// regions, flattening the standard protocol's coarse-level spike.
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace benchfig;
+using harness::Protocol;
+
+struct Data {
+  std::vector<double> levels, standard_global, optimized_global;
+};
+
+const Data& data() {
+  static const Data d = [] {
+    Data out;
+    const auto& dh = harness::paper_dist_hierarchy(kPaperRows, kPaperRanks);
+    auto std_m = harness::measure_protocol(dh, Protocol::neighbor_standard,
+                                           paper_config());
+    auto opt_m = harness::measure_protocol(dh, Protocol::neighbor_partial,
+                                           paper_config());
+    for (std::size_t l = 0; l < std_m.size(); ++l) {
+      out.levels.push_back(static_cast<double>(l));
+      out.standard_global.push_back(std_m[l].max_global_msgs);
+      out.optimized_global.push_back(opt_m[l].max_global_msgs);
+    }
+    return out;
+  }();
+  return d;
+}
+
+void BM_GlobalMessages(benchmark::State& state) {
+  const Data& d = data();
+  const std::size_t l = static_cast<std::size_t>(state.range(0));
+  const bool optimized = state.range(1) != 0;
+  for (auto _ : state) benchmark::DoNotOptimize(l);
+  if (l < d.levels.size()) {
+    state.counters["level"] = d.levels[l];
+    state.counters["max_global_msgs"] =
+        optimized ? d.optimized_global[l] : d.standard_global[l];
+  }
+  state.SetLabel(optimized ? "Optimized Global" : "Standard Global");
+}
+BENCHMARK(BM_GlobalMessages)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 11, 1), {0, 1}})
+    ->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  const Data& d = data();
+  harness::print_figure(std::cout,
+                        "Figure 9: max inter-region messages per process, "
+                        "per SpMV level (524288 rows, 2048 cores)",
+                        "AMG level", d.levels,
+                        {{"Standard Global", d.standard_global},
+                         {"Optimized Global", d.optimized_global}});
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,71 @@
+/// \file protocol_selection.cpp
+/// \brief The paper's proposed future-work extension, implemented: a
+/// performance model inside the collective dynamically selects the best
+/// protocol per communication pattern (per AMG level), instead of the
+/// offline best-of selection used in Figures 12/13.
+///
+/// For each level we (a) measure all four protocols on the simulator,
+/// (b) ask the analytic model to pick one from the message statistics
+/// alone, and (c) report how close the model-driven selection comes to the
+/// measured-optimal selection.
+///
+/// Usage: ./examples/protocol_selection [rows ranks]
+
+#include <cstdio>
+
+#include "harness/measure.hpp"
+#include "model/perf_model.hpp"
+
+using harness::Protocol;
+
+int main(int argc, char** argv) {
+  long rows = 65536;
+  int ranks = 256;
+  if (argc >= 2) rows = std::atol(argv[1]);
+  if (argc >= 3) ranks = std::atoi(argv[2]);
+
+  const auto& dh = harness::paper_dist_hierarchy(rows, ranks);
+  harness::MeasureConfig cfg;
+  cfg.ranks_per_region = std::min(16, ranks);
+
+  std::vector<std::vector<harness::LevelMeasurement>> m;
+  for (Protocol p : harness::kAllProtocols)
+    m.push_back(harness::measure_protocol(dh, p, cfg));
+
+  simmpi::CostModel cm(cfg.cost);
+  const int nlevels = static_cast<int>(m[0].size());
+  double t_hypre = 0, t_best = 0, t_model = 0;
+  std::printf("%-6s %-10s %-28s %-28s\n", "level", "rows",
+              "model picks", "measured best");
+  for (int l = 0; l < nlevels; ++l) {
+    // Model input: the per-level aggregate message statistics.
+    std::vector<std::vector<mpix::NeighborStats>> cand;
+    for (int p = 0; p < 4; ++p)
+      cand.push_back({mpix::NeighborStats{
+          .local_msgs = m[p][l].max_local_msgs,
+          .global_msgs = m[p][l].max_global_msgs,
+          .local_values = m[p][l].max_local_values,
+          .global_values = m[p][l].max_global_values,
+          .max_global_msg_values = m[p][l].max_global_msg_values}});
+    const int pick = model::select_protocol(cm, cand);
+    int best = 0;
+    for (int p = 1; p < 4; ++p)
+      if (m[p][l].start_wait_seconds < m[best][l].start_wait_seconds)
+        best = p;
+    std::printf("%-6d %-10ld %-28s %-28s\n", l, m[0][l].rows,
+                harness::to_string(static_cast<Protocol>(pick)),
+                harness::to_string(static_cast<Protocol>(best)));
+    t_hypre += m[0][l].start_wait_seconds;
+    t_best += m[best][l].start_wait_seconds;
+    t_model += m[pick][l].start_wait_seconds;
+  }
+  std::printf("\ntotals over the hierarchy:\n");
+  std::printf("  always Standard Hypre : %.4e s\n", t_hypre);
+  std::printf("  model-driven selection: %.4e s (%.2fx vs Hypre)\n", t_model,
+              t_hypre / t_model);
+  std::printf("  measured-optimal      : %.4e s (%.2fx vs Hypre)\n", t_best,
+              t_hypre / t_best);
+  std::printf("  model achieves %.0f%% of the optimal selection's gain\n",
+              100.0 * (t_hypre - t_model) / (t_hypre - t_best));
+  return 0;
+}

@@ -1,0 +1,131 @@
+/// \file quickstart.cpp
+/// \brief Smallest end-to-end use of the library: the paper's Example 2.1.
+///
+/// Eight ranks in two regions of four.  Each rank of region 0 owns two
+/// values (circle/square) that must reach shaded subsets of region 1.  We
+/// run the exchange three ways — standard persistent neighbor collective,
+/// locality-aware aggregation, aggregation + dedup — and print the
+/// inter-region traffic each one generates (Figures 3-5 of the paper).
+///
+/// Build & run:  ./examples/quickstart
+
+#include <cstdio>
+#include <map>
+
+#include "mpix/neighbor.hpp"
+#include "simmpi/dist_graph.hpp"
+
+using namespace simmpi;
+
+namespace {
+
+/// value id -> destination ranks (paper Example 2.1; values 2r / 2r+1 are
+/// rank r's circle / square).
+const std::map<int, std::vector<int>>& shading() {
+  static const std::map<int, std::vector<int>> s{
+      {0, {5, 6}},    {1, {4, 5, 7}},  // P0
+      {2, {4, 6}},    {3, {5, 6, 7}},  // P1
+      {4, {4, 7}},    {5, {4, 5, 6}},  // P2
+      {6, {7}},       {7, {4, 6}},     // P3
+  };
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  // Two regions ("CPUs") of four ranks each.
+  Engine eng(Machine({.num_nodes = 2, .regions_per_node = 1,
+                      .ranks_per_region = 4}),
+             CostParams::lassen());
+
+  std::vector<mpix::NeighborStats> stats[3];
+  for (auto& s : stats) s.resize(8);
+  double times[3] = {};
+
+  eng.run([&](Context& ctx) -> Task<> {
+    const int r = ctx.rank();
+
+    // Build this rank's send/recv lists from the global shading table.
+    std::vector<int> dests, sendcounts, sdispls;
+    std::vector<double> sendbuf;
+    std::vector<mpix::gidx> send_idx;
+    std::map<int, std::vector<int>> to;  // dst -> value ids
+    for (const auto& [gid, dsts] : shading())
+      if (gid / 2 == r)
+        for (int d : dsts) to[d].push_back(gid);
+    for (const auto& [d, gids] : to) {
+      dests.push_back(d);
+      sdispls.push_back(static_cast<int>(sendbuf.size()));
+      sendcounts.push_back(static_cast<int>(gids.size()));
+      for (int g : gids) {
+        sendbuf.push_back(10.0 + g);  // the value itself
+        send_idx.push_back(g);
+      }
+    }
+    std::vector<int> srcs, recvcounts, rdispls;
+    std::vector<mpix::gidx> recv_idx;
+    for (const auto& [gid, dsts] : shading())
+      for (int d : dsts)
+        if (d == r) {
+          const int src = gid / 2;
+          if (srcs.empty() || srcs.back() != src) {
+            srcs.push_back(src);
+            rdispls.push_back(static_cast<int>(recv_idx.size()));
+            recvcounts.push_back(0);
+          }
+          ++recvcounts.back();
+          recv_idx.push_back(gid);
+        }
+    std::vector<double> recvbuf(recv_idx.size());
+
+    DistGraph graph = co_await dist_graph_create_adjacent(
+        ctx, ctx.world(), srcs, dests, GraphAlgo::handshake);
+    mpix::AlltoallvArgs args{.sendbuf = sendbuf,
+                             .sendcounts = sendcounts,
+                             .sdispls = sdispls,
+                             .recvbuf = recvbuf,
+                             .recvcounts = recvcounts,
+                             .rdispls = rdispls,
+                             .send_idx = send_idx,
+                             .recv_idx = recv_idx};
+
+    std::unique_ptr<mpix::NeighborAlltoallv> protos[3];
+    protos[0] = mpix::neighbor_alltoallv_init_standard(ctx, graph, args);
+    protos[1] = co_await mpix::neighbor_alltoallv_init_locality(
+        ctx, graph, args, {.dedup = false});
+    protos[2] = co_await mpix::neighbor_alltoallv_init_locality(
+        ctx, graph, args, {.dedup = true});
+
+    for (int p = 0; p < 3; ++p) {
+      std::fill(recvbuf.begin(), recvbuf.end(), 0.0);
+      co_await ctx.engine().sync_reset(ctx);
+      co_await protos[p]->start(ctx);
+      co_await protos[p]->wait(ctx);
+      times[p] = std::max(times[p], ctx.now());
+      stats[p][r] = protos[p]->stats();
+      for (std::size_t k = 0; k < recvbuf.size(); ++k)
+        if (recvbuf[k] != 10.0 + recv_idx[k])
+          throw SimError("quickstart: wrong payload delivered");
+    }
+    co_return;
+  });
+
+  const char* names[3] = {"standard", "locality-aware", "locality+dedup"};
+  std::printf("Example 2.1 on 2 regions x 4 ranks (values delivered and "
+              "verified):\n\n%-16s %-18s %-18s %s\n", "protocol",
+              "inter-region msgs", "inter-region vals", "sim time");
+  for (int p = 0; p < 3; ++p) {
+    long msgs = 0, vals = 0;
+    for (const auto& s : stats[p]) {
+      msgs += s.global_msgs;
+      vals += s.global_values;
+    }
+    std::printf("%-16s %-18ld %-18ld %.2e s\n", names[p], msgs, vals,
+                times[p]);
+  }
+  std::printf("\npaper: 15 standard messages collapse to 1 aggregated "
+              "message; dedup cuts the 18 transferred copies to 8 unique "
+              "values (Figures 3-5).\n");
+  return 0;
+}

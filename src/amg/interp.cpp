@@ -1,0 +1,98 @@
+#include "amg/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amg {
+
+sparse::Csr direct_interpolation(const sparse::Csr& A, const sparse::Csr& S,
+                                 const std::vector<CF>& cf,
+                                 int max_elements) {
+  const int n = A.rows();
+  if (static_cast<int>(cf.size()) != n)
+    throw sparse::Error("direct_interpolation: cf size mismatch");
+  if (max_elements < 1)
+    throw sparse::Error("direct_interpolation: max_elements must be >= 1");
+
+  // canonical coarse numbering: C points in ascending order.
+  std::vector<int> coarse_id(n, -1);
+  int nc = 0;
+  for (int i = 0; i < n; ++i)
+    if (cf[i] == CF::coarse) coarse_id[i] = nc++;
+
+  std::vector<sparse::Triplet> tr;
+  std::vector<std::pair<int, double>> row;  // (coarse col, weight)
+  for (int i = 0; i < n; ++i) {
+    if (cf[i] == CF::coarse) {
+      tr.push_back(sparse::Triplet{i, coarse_id[i], 1.0});
+      continue;
+    }
+    // Strong C neighbors of F point i.
+    auto scols = S.row_cols(i);
+    auto acols = A.row_cols(i);
+    auto avals = A.row_vals(i);
+
+    double diag = 0.0;
+    double sum_neg = 0.0, sum_pos = 0.0;        // all off-diagonal mass
+    double csum_neg = 0.0, csum_pos = 0.0;      // strong-C mass
+    row.clear();
+    for (std::size_t k = 0; k < acols.size(); ++k) {
+      const int j = acols[k];
+      const double v = avals[k];
+      if (j == i) {
+        diag = v;
+        continue;
+      }
+      if (v < 0)
+        sum_neg += v;
+      else
+        sum_pos += v;
+      const bool strong =
+          std::binary_search(scols.begin(), scols.end(), j);
+      if (strong && cf[j] == CF::coarse) {
+        row.emplace_back(coarse_id[j], v);
+        if (v < 0)
+          csum_neg += v;
+        else
+          csum_pos += v;
+      }
+    }
+    if (row.empty()) continue;  // F point without strong C neighbors
+    if (diag == 0.0)
+      throw sparse::Error("direct_interpolation: zero diagonal");
+
+    // Positive couplings with no positive strong C: lump onto the diagonal.
+    double eff_diag = diag;
+    double alpha = csum_neg != 0.0 ? sum_neg / csum_neg : 0.0;
+    double beta = 0.0;
+    if (sum_pos != 0.0) {
+      if (csum_pos != 0.0)
+        beta = sum_pos / csum_pos;
+      else
+        eff_diag += sum_pos;
+    }
+    for (auto& [c, v] : row)
+      v = -(v < 0 ? alpha : beta) * v / eff_diag;
+
+    // Truncate to the largest-|w| entries, preserving the row sum.
+    if (static_cast<int>(row.size()) > max_elements) {
+      std::partial_sort(row.begin(), row.begin() + max_elements, row.end(),
+                        [](const auto& a, const auto& b) {
+                          return std::abs(a.second) > std::abs(b.second);
+                        });
+      double full = 0.0, kept = 0.0;
+      for (const auto& [c, v] : row) full += v;
+      row.resize(max_elements);
+      for (const auto& [c, v] : row) kept += v;
+      if (kept != 0.0) {
+        const double scale = full / kept;
+        for (auto& [c, v] : row) v *= scale;
+      }
+    }
+    for (const auto& [c, v] : row)
+      if (v != 0.0) tr.push_back(sparse::Triplet{i, c, v});
+  }
+  return sparse::Csr::from_triplets(n, nc, std::move(tr));
+}
+
+}  // namespace amg

@@ -1,0 +1,29 @@
+#pragma once
+/// \file interp.hpp
+/// \brief Direct interpolation with truncation (BoomerAMG style).
+
+#include <vector>
+
+#include "amg/coarsen.hpp"
+#include "sparse/csr.hpp"
+
+namespace amg {
+
+/// Build the direct-interpolation operator P (n_fine x n_coarse).
+///
+/// C point i interpolates exactly from itself.  F point i interpolates from
+/// its strong C neighbors C_i with the classical scaled-injection weights
+///   w_ij = -(a_ij / a_ii) * (sum of same-sign off-diagonals of row i)
+///                         / (sum of same-sign entries over C_i),
+/// computed separately for negative and positive couplings.  When an F row
+/// has positive off-diagonals but no positive strong C neighbor, the
+/// positive mass is lumped onto the diagonal (Hypre behaviour).
+///
+/// Rows are then truncated to the `max_elements` largest-magnitude weights
+/// and rescaled to preserve the row sum.  F points with no strong C
+/// neighbor get an empty row (they rely on smoothing alone).
+sparse::Csr direct_interpolation(const sparse::Csr& A, const sparse::Csr& S,
+                                 const std::vector<CF>& cf,
+                                 int max_elements = 4);
+
+}  // namespace amg

@@ -1,0 +1,62 @@
+#pragma once
+/// \file solve.hpp
+/// \brief Sequential solve-phase kernels: smoothers, V-cycle, PCG.
+
+#include <functional>
+#include <span>
+
+#include "amg/hierarchy.hpp"
+
+namespace amg {
+
+/// x += omega * D^{-1} (b - A x)   (one weighted-Jacobi sweep).
+void jacobi(const sparse::Csr& A, std::span<const double> b,
+            std::span<double> x, double omega = 2.0 / 3.0);
+
+/// Dense LU solve with partial pivoting (coarsest-level solver).
+void dense_solve(const sparse::Csr& A, std::span<const double> b,
+                 std::span<double> x);
+
+/// Solve-phase parameters.
+struct CycleOptions {
+  int pre_sweeps = 1;
+  int post_sweeps = 1;
+  double jacobi_omega = 2.0 / 3.0;
+};
+
+/// One V-cycle on level `lvl` of the hierarchy: x <- V(x, b).
+void vcycle(const Hierarchy& h, int lvl, std::span<const double> b,
+            std::span<double> x, const CycleOptions& opts = {});
+
+/// Result of an iterative solve.
+struct SolveResult {
+  int iterations = 0;
+  double final_residual = 0.0;  ///< relative two-norm
+  bool converged = false;
+};
+
+/// Preconditioner interface: z = M^{-1} r.
+using Precond =
+    std::function<void(std::span<const double>, std::span<double>)>;
+
+/// Preconditioned conjugate gradients on A x = b (x is in/out).
+SolveResult pcg(const sparse::Csr& A, std::span<const double> b,
+                std::span<double> x, const Precond& M, double rel_tol = 1e-8,
+                int max_iter = 500);
+
+/// Stationary AMG iteration (repeated V-cycles) until relative residual
+/// drops below rel_tol.
+SolveResult amg_solve(const Hierarchy& h, std::span<const double> b,
+                      std::span<double> x, double rel_tol = 1e-8,
+                      int max_iter = 200, const CycleOptions& opts = {});
+
+/// Convenience: PCG preconditioned with one V-cycle of `h`.
+SolveResult amg_pcg(const Hierarchy& h, std::span<const double> b,
+                    std::span<double> x, double rel_tol = 1e-8,
+                    int max_iter = 500, const CycleOptions& opts = {});
+
+/// Two-norm of b - A x.
+double residual_norm(const sparse::Csr& A, std::span<const double> b,
+                     std::span<const double> x);
+
+}  // namespace amg

@@ -1,0 +1,27 @@
+#include "amg/strength.hpp"
+
+#include <algorithm>
+
+namespace amg {
+
+sparse::Csr strength(const sparse::Csr& A, double theta) {
+  if (A.rows() != A.cols()) throw sparse::Error("strength: matrix not square");
+  if (theta < 0.0 || theta > 1.0)
+    throw sparse::Error("strength: theta must be in [0, 1]");
+  std::vector<sparse::Triplet> tr;
+  for (int i = 0; i < A.rows(); ++i) {
+    auto cols = A.row_cols(i);
+    auto vals = A.row_vals(i);
+    double max_neg = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      if (cols[k] != i) max_neg = std::max(max_neg, -vals[k]);
+    if (max_neg <= 0.0) continue;  // no negative off-diagonals
+    const double cut = theta * max_neg;
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      if (cols[k] != i && -vals[k] >= cut)
+        tr.push_back(sparse::Triplet{i, cols[k], 1.0});
+  }
+  return sparse::Csr::from_triplets(A.rows(), A.cols(), std::move(tr));
+}
+
+}  // namespace amg

@@ -1,0 +1,16 @@
+#pragma once
+/// \file strength.hpp
+/// \brief Classical strength-of-connection for algebraic multigrid.
+
+#include "sparse/csr.hpp"
+
+namespace amg {
+
+/// Classical strength matrix: S contains (i, j), j != i, iff
+///   -a_ij >= theta * max_{k != i} (-a_ik),
+/// i.e. j is a strong influence on i.  Values are 1.0 (pattern matrix).
+/// Rows whose off-diagonal entries are all non-negative have no strong
+/// connections.
+sparse::Csr strength(const sparse::Csr& A, double theta);
+
+}  // namespace amg

@@ -1,0 +1,181 @@
+#include "harness/exchange.hpp"
+
+#include <numeric>
+
+#include "simmpi/dist_graph.hpp"
+
+namespace harness {
+
+namespace {
+
+using simmpi::Comm;
+using simmpi::Context;
+using simmpi::Request;
+using simmpi::Task;
+
+/// Shared bookkeeping: owned buffers + gather list.
+struct Buffers {
+  std::vector<int> send_gather;   ///< local x index per sendbuf slot
+  std::vector<double> sendbuf;
+  std::vector<double> xext;
+  std::vector<int> sendcounts, sdispls, recvcounts, rdispls;
+  std::vector<mpix::gidx> send_idx, recv_idx;
+  std::vector<int> destinations, sources;
+
+  explicit Buffers(const sparse::RankHalo& halo) {
+    destinations = halo.send_ranks;
+    sources = halo.recv_ranks;
+    sendcounts = halo.send_counts;
+    recvcounts = halo.recv_counts;
+    sdispls.resize(sendcounts.size());
+    rdispls.resize(recvcounts.size());
+    int acc = 0;
+    for (std::size_t i = 0; i < sendcounts.size(); ++i) {
+      sdispls[i] = acc;
+      acc += sendcounts[i];
+    }
+    acc = 0;
+    for (std::size_t i = 0; i < recvcounts.size(); ++i) {
+      rdispls[i] = acc;
+      acc += recvcounts[i];
+    }
+    send_gather = halo.send_idx;
+    send_idx.assign(halo.send_gids.begin(), halo.send_gids.end());
+    recv_idx.assign(halo.recv_gids.begin(), halo.recv_gids.end());
+    sendbuf.resize(send_gather.size());
+    xext.resize(recv_idx.size());
+  }
+
+  mpix::AlltoallvArgs args() {
+    return mpix::AlltoallvArgs{
+        .sendbuf = sendbuf,
+        .sendcounts = sendcounts,
+        .sdispls = sdispls,
+        .recvbuf = xext,
+        .recvcounts = recvcounts,
+        .rdispls = rdispls,
+        .send_idx = send_idx,
+        .recv_idx = recv_idx,
+    };
+  }
+
+  void gather(std::span<const double> x_local) {
+    for (std::size_t k = 0; k < send_gather.size(); ++k)
+      sendbuf[k] = x_local[send_gather[k]];
+  }
+};
+
+/// Hypre-style persistent point-to-point exchange (no topology object).
+class HypreExchange final : public HaloExchange {
+ public:
+  HypreExchange(Context& ctx, Comm comm, const sparse::RankHalo& halo)
+      : buf_(halo) {
+    const int tag = ctx.engine().next_coll_tag(comm);
+    const auto& machine = ctx.engine().machine();
+    const int my_region = machine.region_of(comm.global(comm.rank()));
+    for (std::size_t i = 0; i < buf_.destinations.size(); ++i) {
+      auto seg = std::span<const double>(buf_.sendbuf)
+                     .subspan(buf_.sdispls[i], buf_.sendcounts[i]);
+      sends_.push_back(Request::send(comm, std::as_bytes(seg),
+                                     buf_.destinations[i], tag));
+      const bool global =
+          machine.region_of(comm.global(buf_.destinations[i])) != my_region;
+      if (global) {
+        ++stats_.global_msgs;
+        stats_.global_values += buf_.sendcounts[i];
+        stats_.max_global_msg_values =
+            std::max(stats_.max_global_msg_values,
+                     static_cast<long>(buf_.sendcounts[i]));
+      } else {
+        ++stats_.local_msgs;
+        stats_.local_values += buf_.sendcounts[i];
+      }
+    }
+    for (std::size_t i = 0; i < buf_.sources.size(); ++i) {
+      auto seg = std::span<double>(buf_.xext).subspan(buf_.rdispls[i],
+                                                      buf_.recvcounts[i]);
+      recvs_.push_back(Request::recv(comm, std::as_writable_bytes(seg),
+                                     buf_.sources[i], tag));
+    }
+  }
+
+  Task<> start(Context& ctx, std::span<const double> x_local) override {
+    buf_.gather(x_local);
+    for (auto& s : sends_) s.start(ctx);
+    for (auto& r : recvs_) r.start(ctx);
+    co_return;
+  }
+  Task<> wait(Context& ctx) override {
+    for (auto& s : sends_) co_await ctx.wait(s);
+    for (auto& r : recvs_) co_await ctx.wait(r);
+  }
+  std::span<const double> x_ext() const override { return buf_.xext; }
+  mpix::NeighborStats stats() const override { return stats_; }
+
+ private:
+  Buffers buf_;
+  std::vector<Request> sends_, recvs_;
+  mpix::NeighborStats stats_;
+};
+
+/// Any mpix neighbor collective behind the same interface.
+class NeighborExchange final : public HaloExchange {
+ public:
+  NeighborExchange(Buffers buf, simmpi::DistGraph graph,
+                   std::unique_ptr<mpix::NeighborAlltoallv> coll)
+      : buf_(std::move(buf)),
+        graph_(std::move(graph)),
+        coll_(std::move(coll)) {}
+
+  Task<> start(Context& ctx, std::span<const double> x_local) override {
+    buf_.gather(x_local);
+    co_await coll_->start(ctx);
+  }
+  Task<> wait(Context& ctx) override { co_await coll_->wait(ctx); }
+  std::span<const double> x_ext() const override { return buf_.xext; }
+  mpix::NeighborStats stats() const override { return coll_->stats(); }
+
+ private:
+  Buffers buf_;
+  simmpi::DistGraph graph_;
+  std::unique_ptr<mpix::NeighborAlltoallv> coll_;
+};
+
+}  // namespace
+
+Task<std::unique_ptr<HaloExchange>> make_halo_exchange(
+    Context& ctx, Comm comm, Protocol protocol, const sparse::RankHalo& halo,
+    simmpi::GraphAlgo graph_algo, bool lpt_balance) {
+  if (protocol == Protocol::hypre)
+    co_return std::make_unique<HypreExchange>(ctx, comm, halo);
+
+  // Neighbor collectives bind spans into the Buffers vectors at init.
+  // Moving `Buffers` afterwards is safe: vector moves transfer the heap
+  // storage the spans point into.
+  auto buf = std::make_unique<Buffers>(halo);
+  simmpi::DistGraph graph = co_await simmpi::dist_graph_create_adjacent(
+      ctx, comm, buf->sources, buf->destinations, graph_algo);
+  std::unique_ptr<mpix::NeighborAlltoallv> coll;
+  switch (protocol) {
+    case Protocol::neighbor_standard:
+      coll = mpix::neighbor_alltoallv_init_standard(ctx, graph, buf->args());
+      break;
+    case Protocol::neighbor_partial:
+      coll = co_await mpix::neighbor_alltoallv_init_locality(
+          ctx, graph, buf->args(),
+          {.dedup = false, .lpt_balance = lpt_balance});
+      break;
+    case Protocol::neighbor_full:
+      coll = co_await mpix::neighbor_alltoallv_init_locality(
+          ctx, graph, buf->args(),
+          {.dedup = true, .lpt_balance = lpt_balance});
+      break;
+    default:
+      throw simmpi::SimError("make_halo_exchange: bad protocol");
+  }
+  co_return std::make_unique<NeighborExchange>(std::move(*buf),
+                                               std::move(graph),
+                                               std::move(coll));
+}
+
+}  // namespace harness

@@ -1,0 +1,69 @@
+#pragma once
+/// \file exchange.hpp
+/// \brief Halo-exchange backends for the distributed SpMV, one per protocol
+/// of the paper's evaluation (Section 4):
+///   * `hypre`            — persistent point-to-point, as in Hypre 2.28;
+///   * `neighbor_standard`— unoptimized persistent neighbor collective;
+///   * `neighbor_partial` — locality-aware aggregation;
+///   * `neighbor_full`    — aggregation + duplicate removal.
+///
+/// Every backend owns its gathered send buffer and its external-vector
+/// receive buffer (`x_ext`, laid out as col_map_offd), so the SpMV code is
+/// protocol-agnostic: start(x_local) gathers and launches, wait() completes
+/// and exposes x_ext.
+
+#include <memory>
+
+#include "mpix/neighbor.hpp"
+#include "sparse/par_csr.hpp"
+
+namespace harness {
+
+/// Protocols evaluated by the paper (Figure legends).
+enum class Protocol {
+  hypre,
+  neighbor_standard,
+  neighbor_partial,
+  neighbor_full,
+};
+
+inline const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::hypre: return "Standard Hypre";
+    case Protocol::neighbor_standard: return "Unoptimized Neighbor";
+    case Protocol::neighbor_partial: return "Partially Optimized Neighbor";
+    case Protocol::neighbor_full: return "Fully Optimized Neighbor";
+  }
+  return "?";
+}
+
+inline constexpr Protocol kAllProtocols[] = {
+    Protocol::hypre, Protocol::neighbor_standard, Protocol::neighbor_partial,
+    Protocol::neighbor_full};
+
+/// A persistent halo exchange bound to one rank's pattern.
+class HaloExchange {
+ public:
+  virtual ~HaloExchange() = default;
+  /// Gather x values and launch the exchange.
+  virtual simmpi::Task<> start(simmpi::Context& ctx,
+                               std::span<const double> x_local) = 0;
+  /// Complete the exchange; afterwards x_ext() holds the halo values in
+  /// col_map_offd order.
+  virtual simmpi::Task<> wait(simmpi::Context& ctx) = 0;
+  virtual std::span<const double> x_ext() const = 0;
+  virtual mpix::NeighborStats stats() const = 0;
+};
+
+/// Build the exchange for `rank`'s halo pattern.  Collective over `comm`
+/// (neighbor protocols create topologies and perform aggregation setup).
+/// The exchange does not keep references to `halo` after init.
+/// `lpt_balance` selects the leader-assignment strategy of the
+/// locality-aware protocols (see mpix::LocalityOptions; ablation knob).
+simmpi::Task<std::unique_ptr<HaloExchange>> make_halo_exchange(
+    simmpi::Context& ctx, simmpi::Comm comm, Protocol protocol,
+    const sparse::RankHalo& halo,
+    simmpi::GraphAlgo graph_algo = simmpi::GraphAlgo::handshake,
+    bool lpt_balance = true);
+
+}  // namespace harness

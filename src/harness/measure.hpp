@@ -1,0 +1,72 @@
+#pragma once
+/// \file measure.hpp
+/// \brief Experiment runner: reproduces the measurements behind Figures
+/// 6-13 on the simulated machine.
+///
+/// Timing methodology (paper Section 4): the paper times 1000 Start/Wait
+/// calls and averages, min over 3 runs, to suppress machine noise.  The
+/// simulator is deterministic, so a single simulated execution is exact;
+/// reported times are the maximum rank-local elapsed virtual time.
+
+#include <vector>
+
+#include "amg/distribute.hpp"
+#include "amg/hierarchy.hpp"
+#include "harness/exchange.hpp"
+#include "simmpi/engine.hpp"
+
+namespace harness {
+
+/// Measurements of one protocol on one AMG level.
+struct LevelMeasurement {
+  int level = 0;
+  long rows = 0;
+  double init_seconds = 0.0;        ///< topology + collective init (max rank)
+  double start_wait_seconds = 0.0;  ///< one Start+Wait (max rank)
+  long max_local_msgs = 0;          ///< max per process (Figure 8)
+  long max_global_msgs = 0;         ///< max per process (Figure 9)
+  long max_global_msg_values = 0;   ///< max single message (Figure 10)
+  long max_local_values = 0;        ///< max per-process local value total
+  long max_global_values = 0;       ///< max per-process global value total
+};
+
+/// Configuration of a measurement run.
+struct MeasureConfig {
+  int ranks_per_region = 16;  ///< the paper's Lassen setting
+  simmpi::CostParams cost = simmpi::CostParams::lassen();
+  simmpi::GraphAlgo graph_algo = simmpi::GraphAlgo::handshake;
+  bool verify_payload = true;  ///< check delivered halos against truth
+  bool lpt_balance = true;     ///< leader assignment (ablation knob)
+};
+
+/// Measure one protocol across every level of a distributed hierarchy.
+/// Runs the full simulated machine; returns one entry per level.
+std::vector<LevelMeasurement> measure_protocol(const amg::DistHierarchy& dh,
+                                               Protocol protocol,
+                                               const MeasureConfig& cfg = {});
+
+/// Figure 6: cost of creating the per-level topology communicators
+/// (dist_graph_create_adjacent once per level), for one graph algorithm.
+double measure_graph_creation(const amg::DistHierarchy& dh,
+                              simmpi::GraphAlgo algo,
+                              const MeasureConfig& cfg = {});
+
+/// Sum of per-level Start+Wait times (Figures 12/13), optionally taking the
+/// cheaper of `self` and `baseline` per level ("maximum possible
+/// improvement" selection of Section 4.2).
+double total_time(const std::vector<LevelMeasurement>& self,
+                  const std::vector<LevelMeasurement>* baseline = nullptr);
+
+/// Smallest iteration count at which `opt` (init + k * iter) beats `base`;
+/// -1 if never within `max_iters` (Figure 7 crossovers).
+int crossover_iterations(double base_init, double base_iter, double opt_init,
+                         double opt_iter, int max_iters = 100000);
+
+/// Build (and memoize per (rows, options)) the canonical hierarchy of the
+/// paper's rotated anisotropic diffusion problem with `rows` unknowns.
+const amg::Hierarchy& paper_hierarchy(long rows);
+
+/// Memoized distribution of the paper hierarchy over `nranks`.
+const amg::DistHierarchy& paper_dist_hierarchy(long rows, int nranks);
+
+}  // namespace harness

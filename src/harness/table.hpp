@@ -1,0 +1,43 @@
+#pragma once
+/// \file table.hpp
+/// \brief Small console table/CSV emitter for the figure benches.
+
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace harness {
+
+/// A named data series over a shared x axis.
+struct Series {
+  std::string name;
+  std::vector<double> y;
+};
+
+/// Print a paper-style figure table: one row per x value, one column per
+/// series.  Doubles are printed in scientific notation.
+inline void print_figure(std::ostream& os, const std::string& title,
+                         const std::string& x_label,
+                         const std::vector<double>& xs,
+                         const std::vector<Series>& series) {
+  os << "\n=== " << title << " ===\n";
+  os << std::left << std::setw(14) << x_label;
+  for (const auto& s : series) os << std::setw(26) << s.name;
+  os << "\n";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    os << std::left << std::setw(14) << xs[i];
+    for (const auto& s : series) {
+      if (i < s.y.size())
+        os << std::setw(26) << std::scientific << std::setprecision(4)
+           << s.y[i];
+      else
+        os << std::setw(26) << "-";
+      os << std::defaultfloat;
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+}  // namespace harness

@@ -1,0 +1,53 @@
+#include "model/perf_model.hpp"
+
+#include <algorithm>
+
+namespace model {
+
+using simmpi::Locality;
+
+double estimate_rank_time(const simmpi::CostModel& cm,
+                          const mpix::NeighborStats& s) {
+  double t = 0.0;
+  if (s.local_msgs > 0) {
+    const double avg =
+        8.0 * static_cast<double>(s.local_values) / s.local_msgs;
+    t += s.local_msgs *
+         (cm.send_overhead() + cm.recv_overhead(0) +
+          cm.transfer_time(Locality::region, static_cast<std::size_t>(avg)));
+  }
+  if (s.global_msgs > 0) {
+    const double avg =
+        8.0 * static_cast<double>(s.global_values) / s.global_msgs;
+    t += s.global_msgs *
+         (cm.send_overhead() + cm.recv_overhead(0) +
+          cm.transfer_time(Locality::network, static_cast<std::size_t>(avg)));
+  }
+  return t;
+}
+
+double estimate_collective_time(const simmpi::CostModel& cm,
+                                std::span<const mpix::NeighborStats> ranks) {
+  double best = 0.0;
+  for (const auto& s : ranks) best = std::max(best, estimate_rank_time(cm, s));
+  return best;
+}
+
+int select_protocol(
+    const simmpi::CostModel& cm,
+    const std::vector<std::vector<mpix::NeighborStats>>& candidates) {
+  if (candidates.empty())
+    throw simmpi::SimError("select_protocol: no candidates");
+  int best = 0;
+  double best_t = estimate_collective_time(cm, candidates[0]);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const double t = estimate_collective_time(cm, candidates[i]);
+    if (t < best_t) {
+      best_t = t;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+}  // namespace model

@@ -1,0 +1,38 @@
+#pragma once
+/// \file perf_model.hpp
+/// \brief Analytic cost estimates and dynamic protocol selection.
+///
+/// The paper's conclusions call for "a simple performance measure ...
+/// within the neighborhood collective to dynamically select the optimal
+/// communication strategy".  This module provides that extension: a
+/// locality-aware postal estimate evaluated on the per-rank message
+/// statistics of each candidate implementation, and an argmin selector.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpix/neighbor.hpp"
+#include "simmpi/cost_model.hpp"
+
+namespace model {
+
+/// Estimated Start+Wait time of one collective execution on one rank,
+/// from its message statistics: postal model with locality-aware
+/// parameters (intra-region traffic priced at the region tier, inter-region
+/// at the network tier; both send and receive overheads charged).
+double estimate_rank_time(const simmpi::CostModel& cm,
+                          const mpix::NeighborStats& s);
+
+/// Estimated collective time = max over ranks.
+double estimate_collective_time(const simmpi::CostModel& cm,
+                                std::span<const mpix::NeighborStats> ranks);
+
+/// Pick the protocol with the smallest estimated collective time.
+/// `candidates[i]` holds the per-rank stats of protocol i.  Returns the
+/// winning index.
+int select_protocol(
+    const simmpi::CostModel& cm,
+    const std::vector<std::vector<mpix::NeighborStats>>& candidates);
+
+}  // namespace model

@@ -1,0 +1,178 @@
+#include "mpix/detail.hpp"
+
+#include <algorithm>
+
+namespace mpix::detail {
+
+using simmpi::SimError;
+
+void validate_args(const simmpi::DistGraph& graph, const AlltoallvArgs& args,
+                   bool need_idx) {
+  const std::size_t nd = graph.destinations.size();
+  const std::size_t ns = graph.sources.size();
+  if (args.sendcounts.size() != nd || args.sdispls.size() != nd)
+    throw SimError("neighbor_alltoallv: send counts/displs size mismatch");
+  if (args.recvcounts.size() != ns || args.rdispls.size() != ns)
+    throw SimError("neighbor_alltoallv: recv counts/displs size mismatch");
+  for (std::size_t i = 0; i < nd; ++i) {
+    if (args.sendcounts[i] < 0 || args.sdispls[i] < 0)
+      throw SimError("neighbor_alltoallv: negative send count/displ");
+    if (static_cast<std::size_t>(args.sdispls[i]) + args.sendcounts[i] >
+        args.sendbuf.size())
+      throw SimError("neighbor_alltoallv: send segment exceeds sendbuf");
+  }
+  for (std::size_t i = 0; i < ns; ++i) {
+    if (args.recvcounts[i] < 0 || args.rdispls[i] < 0)
+      throw SimError("neighbor_alltoallv: negative recv count/displ");
+    if (static_cast<std::size_t>(args.rdispls[i]) + args.recvcounts[i] >
+        args.recvbuf.size())
+      throw SimError("neighbor_alltoallv: recv segment exceeds recvbuf");
+  }
+  if (need_idx) {
+    if (args.send_idx.size() < args.sendbuf.size() ||
+        args.recv_idx.size() < args.recvbuf.size())
+      throw SimError(
+          "neighbor_alltoallv: dedup requires send_idx/recv_idx covering "
+          "the send/recv buffers");
+  }
+}
+
+std::vector<long long> serialize_edges(const simmpi::DistGraph& graph,
+                                       const AlltoallvArgs& args, bool dedup) {
+  std::vector<long long> blob;
+  blob.push_back(graph.comm.rank());
+  blob.push_back(static_cast<long long>(graph.destinations.size()));
+  for (std::size_t i = 0; i < graph.destinations.size(); ++i) {
+    blob.push_back(graph.destinations[i]);
+    blob.push_back(args.sendcounts[i]);
+    if (dedup)
+      for (int k = 0; k < args.sendcounts[i]; ++k)
+        blob.push_back(args.send_idx[args.sdispls[i] + k]);
+  }
+  blob.push_back(static_cast<long long>(graph.sources.size()));
+  for (std::size_t i = 0; i < graph.sources.size(); ++i) {
+    blob.push_back(graph.sources[i]);
+    blob.push_back(args.recvcounts[i]);
+    if (dedup)
+      for (int k = 0; k < args.recvcounts[i]; ++k)
+        blob.push_back(args.recv_idx[args.rdispls[i] + k]);
+  }
+  return blob;
+}
+
+void parse_edges(std::span<const long long> data, bool dedup,
+                 std::vector<Edge>& out_edges, std::vector<Edge>& in_edges) {
+  std::size_t pos = 0;
+  auto next = [&]() {
+    if (pos >= data.size())
+      throw SimError("parse_edges: truncated metadata blob");
+    return data[pos++];
+  };
+  while (pos < data.size()) {
+    const int rank = static_cast<int>(next());
+    const long long nout = next();
+    for (long long e = 0; e < nout; ++e) {
+      Edge edge;
+      edge.src = rank;
+      edge.dst = static_cast<int>(next());
+      edge.count = static_cast<int>(next());
+      if (dedup) {
+        edge.gids.resize(edge.count);
+        for (int k = 0; k < edge.count; ++k) edge.gids[k] = next();
+      }
+      out_edges.push_back(std::move(edge));
+    }
+    const long long nin = next();
+    for (long long e = 0; e < nin; ++e) {
+      Edge edge;
+      edge.dst = rank;
+      edge.src = static_cast<int>(next());
+      edge.count = static_cast<int>(next());
+      if (dedup) {
+        edge.gids.resize(edge.count);
+        for (int k = 0; k < edge.count; ++k) edge.gids[k] = next();
+      }
+      in_edges.push_back(std::move(edge));
+    }
+  }
+  std::sort(out_edges.begin(), out_edges.end());
+  std::sort(in_edges.begin(), in_edges.end());
+}
+
+std::vector<int> assign_leaders(std::span<const std::pair<int, long>> loads,
+                                int nlocal, bool lpt) {
+  if (nlocal < 1) throw SimError("assign_leaders: nlocal must be >= 1");
+  std::vector<int> assignment(loads.size(), 0);
+  if (!lpt) {
+    for (std::size_t i = 0; i < loads.size(); ++i)
+      assignment[i] = static_cast<int>(i) % nlocal;
+    return assignment;
+  }
+  // Longest-processing-time: heaviest region first onto the least-loaded
+  // core; ties broken by region id / core id for determinism.
+  std::vector<int> order(loads.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (loads[a].second != loads[b].second)
+      return loads[a].second > loads[b].second;
+    return loads[a].first < loads[b].first;
+  });
+  std::vector<long> core_load(nlocal, 0);
+  for (int i : order) {
+    int best = 0;
+    for (int c = 1; c < nlocal; ++c)
+      if (core_load[c] < core_load[best]) best = c;
+    assignment[i] = best;
+    core_load[best] += loads[i].second;
+  }
+  return assignment;
+}
+
+std::vector<gidx> unique_sorted(std::span<const gidx> gids) {
+  std::vector<gidx> u(gids.begin(), gids.end());
+  std::sort(u.begin(), u.end());
+  u.erase(std::unique(u.begin(), u.end()), u.end());
+  return u;
+}
+
+long PairLayout::find(int src, gidx gid) const {
+  for (const auto& blk : src_blocks) {
+    if (blk.src != src) continue;
+    auto it = std::lower_bound(blk.gids.begin(), blk.gids.end(), gid);
+    if (it == blk.gids.end() || *it != gid)
+      throw SimError("PairLayout::find: gid not in source block");
+    return blk.offset + (it - blk.gids.begin());
+  }
+  throw SimError("PairLayout::find: source not in pair");
+}
+
+PairLayout pair_layout(std::span<const Edge* const> edges, bool dedup) {
+  PairLayout lay;
+  if (!dedup) {
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      lay.segments.push_back({static_cast<int>(e), lay.total});
+      lay.total += edges[e]->count;
+    }
+    return lay;
+  }
+  // Dedup: group edges by source (already sorted by (src, dst)) and take
+  // the union of their gids.
+  std::size_t e = 0;
+  while (e < edges.size()) {
+    const int src = edges[e]->src;
+    std::vector<gidx> all;
+    while (e < edges.size() && edges[e]->src == src) {
+      all.insert(all.end(), edges[e]->gids.begin(), edges[e]->gids.end());
+      ++e;
+    }
+    PairLayout::SrcBlock blk;
+    blk.src = src;
+    blk.offset = lay.total;
+    blk.gids = unique_sorted(all);
+    lay.total += static_cast<long>(blk.gids.size());
+    lay.src_blocks.push_back(std::move(blk));
+  }
+  return lay;
+}
+
+}  // namespace mpix::detail

@@ -1,0 +1,85 @@
+#pragma once
+/// \file detail.hpp
+/// \brief Pure (communication-free) helpers behind the locality-aware
+/// neighbor collectives: argument validation, traffic metadata
+/// serialization, leader load balancing, and the canonical layout of
+/// inter-region messages.  Kept separate so the logic is unit-testable
+/// without the simulator.
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mpix/neighbor.hpp"
+
+namespace mpix::detail {
+
+/// Validate counts/displacements against the graph and buffers; with
+/// `need_idx`, also require send_idx/recv_idx covering the buffers.
+void validate_args(const simmpi::DistGraph& graph, const AlltoallvArgs& args,
+                   bool need_idx);
+
+/// One directed traffic edge between comm-local ranks, as shared inside a
+/// region during setup.
+struct Edge {
+  int src = -1;
+  int dst = -1;
+  int count = 0;
+  std::vector<gidx> gids;  ///< per-value indices (dedup mode only)
+
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  }
+};
+
+/// Serialize this rank's out/in edges (graph adjacency + counts + indices).
+std::vector<long long> serialize_edges(const simmpi::DistGraph& graph,
+                                       const AlltoallvArgs& args, bool dedup);
+
+/// Parse concatenated rank blobs back into edge lists.  `out_edges` gets
+/// one entry per (publisher, destination), `in_edges` one per (source,
+/// publisher).
+void parse_edges(std::span<const long long> data, bool dedup,
+                 std::vector<Edge>& out_edges, std::vector<Edge>& in_edges);
+
+/// Assign each region (loads given as (region id, total values), sorted by
+/// region id) to one of `nlocal` local cores.  Returns core indices aligned
+/// with `loads`.  `lpt` = longest-processing-time balancing; otherwise
+/// round-robin.  Deterministic, so every region member computes the same
+/// assignment.
+std::vector<int> assign_leaders(std::span<const std::pair<int, long>> loads,
+                                int nlocal, bool lpt);
+
+/// Canonical composition of the single inter-region message of one region
+/// pair, derived from the pair's edge set (sorted ascending by (src, dst)).
+/// Both the sending and the receiving region compute this independently
+/// from their own copy of the metadata and must agree; hence everything is
+/// deterministic in the edge set.
+struct PairLayout {
+  long total = 0;  ///< values crossing the region boundary
+
+  /// Partial (no dedup): one contiguous segment per edge, in edge order.
+  struct Segment {
+    int edge_index;  ///< into the pair's (sorted) edge vector
+    long offset;     ///< value offset within the message
+  };
+  std::vector<Segment> segments;
+
+  /// Dedup: per source rank, sorted unique gids at a block offset.
+  struct SrcBlock {
+    int src;
+    long offset;
+    std::vector<gidx> gids;  ///< sorted ascending, unique
+  };
+  std::vector<SrcBlock> src_blocks;
+
+  /// Dedup: value offset of `gid` within the message for source `src`.
+  long find(int src, gidx gid) const;
+};
+
+PairLayout pair_layout(std::span<const Edge* const> edges, bool dedup);
+
+/// Sorted unique gids of one edge's value list.
+std::vector<gidx> unique_sorted(std::span<const gidx> gids);
+
+}  // namespace mpix::detail

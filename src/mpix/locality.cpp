@@ -1,0 +1,511 @@
+/// \file locality.cpp
+/// \brief Locality-aware persistent neighbor alltoallv (Algorithms 4-6).
+///
+/// Communication is split into four phases (paper Section 3.2):
+///   l — fully local: source and destination share a region (direct p2p);
+///   s — initial redistribution: each source forwards its remote-bound
+///       values to the region's designated leader per destination region;
+///   g — one inter-region message per (source region, destination region)
+///       pair, from the sending leader to the receiving leader;
+///   r — final redistribution from the receiving leader to destinations.
+///
+/// All routing (gather/scatter index maps, staging layouts, leader
+/// assignments) is computed once at init from metadata shared inside each
+/// region plus a root-to-root handshake, then start/wait only move payload.
+/// With `LocalityOptions::dedup`, values carrying the same user-supplied
+/// index cross each region boundary once (Section 3.3).
+
+#include <map>
+#include <numeric>
+
+#include "mpix/detail.hpp"
+#include "mpix/neighbor.hpp"
+
+namespace mpix {
+
+namespace coll = simmpi::coll;
+
+namespace {
+
+using detail::Edge;
+using detail::PairLayout;
+using simmpi::Comm;
+using simmpi::Context;
+using simmpi::Request;
+using simmpi::Task;
+
+/// A planned message with persistent staging buffer and index maps.
+struct PlanMsg {
+  int peer = -1;  ///< comm-local rank
+  std::vector<int> gather;  ///< sends: source-array position per value
+  std::vector<int> scatter_src;  ///< recvs: payload position
+  std::vector<int> scatter_dst;  ///< recvs: destination-array position
+  std::vector<double> buf;
+  Request req;
+};
+
+/// Direct copy plan for data whose "leader" is this rank itself.
+struct SelfCopy {
+  std::vector<int> src;
+  std::vector<int> dst;
+};
+
+void gather_into(std::span<const double> src, PlanMsg& m) {
+  for (std::size_t i = 0; i < m.gather.size(); ++i) m.buf[i] = src[m.gather[i]];
+}
+
+void scatter_from(const PlanMsg& m, std::span<double> dst) {
+  for (std::size_t k = 0; k < m.scatter_dst.size(); ++k)
+    dst[m.scatter_dst[k]] = m.buf[m.scatter_src[k]];
+}
+
+struct LocalityNeighbor final : NeighborAlltoallv {
+  AlltoallvArgs args;
+  bool dedup = false;
+  std::vector<double> s_stage, g_stage;
+  std::vector<Request> l_sends, l_recvs;  // direct user-buffer p2p
+  std::vector<Request> g_sends, g_recvs;  // direct stage-buffer p2p
+  std::vector<PlanMsg> s_sends, s_recvs, r_sends, r_recvs;
+  SelfCopy s_self, r_self;
+  NeighborStats stat;
+
+  Task<> start(Context& ctx) override {
+    // Fully local traffic goes out immediately (Algorithm 5).
+    for (auto& r : l_sends) r.start(ctx);
+    for (auto& r : l_recvs) r.start(ctx);
+    // Initial redistribution: start AND complete before inter-region.
+    for (auto& m : s_sends) {
+      gather_into(args.sendbuf, m);
+      m.req.start(ctx);
+    }
+    for (std::size_t k = 0; k < s_self.src.size(); ++k)
+      s_stage[s_self.dst[k]] = args.sendbuf[s_self.src[k]];
+    for (auto& m : s_recvs) m.req.start(ctx);
+    for (auto& m : s_recvs) {
+      co_await ctx.wait(m.req);
+      scatter_from(m, s_stage);
+    }
+    for (auto& m : s_sends) co_await ctx.wait(m.req);
+    // Inter-region messages.
+    for (auto& r : g_sends) r.start(ctx);
+    for (auto& r : g_recvs) r.start(ctx);
+    co_return;
+  }
+
+  Task<> wait(Context& ctx) override {
+    // Complete fully local and inter-region traffic (Algorithm 6).
+    for (auto& r : l_sends) co_await ctx.wait(r);
+    for (auto& r : l_recvs) co_await ctx.wait(r);
+    for (auto& r : g_recvs) co_await ctx.wait(r);
+    for (auto& r : g_sends) co_await ctx.wait(r);
+    // Final redistribution.
+    for (auto& m : r_sends) {
+      gather_into(g_stage, m);
+      m.req.start(ctx);
+    }
+    for (std::size_t k = 0; k < r_self.src.size(); ++k)
+      args.recvbuf[r_self.dst[k]] = g_stage[r_self.src[k]];
+    for (auto& m : r_recvs) m.req.start(ctx);
+    for (auto& m : r_recvs) {
+      co_await ctx.wait(m.req);
+      scatter_from(m, args.recvbuf);
+    }
+    for (auto& m : r_sends) co_await ctx.wait(m.req);
+  }
+
+  NeighborStats stats() const override { return stat; }
+  const char* name() const override {
+    return dedup ? "locality+dedup" : "locality";
+  }
+};
+
+/// Within-pair value offsets (in canonical enumeration order) of `src`'s
+/// contribution to a region pair.
+std::vector<long> src_item_offsets(const PairLayout& lay,
+                                   const std::vector<const Edge*>& pair,
+                                   int src, bool dedup) {
+  std::vector<long> out;
+  if (!dedup) {
+    for (std::size_t e = 0; e < pair.size(); ++e)
+      if (pair[e]->src == src)
+        for (int k = 0; k < pair[e]->count; ++k)
+          out.push_back(lay.segments[e].offset + k);
+  } else {
+    for (const auto& blk : lay.src_blocks)
+      if (blk.src == src)
+        for (std::size_t k = 0; k < blk.gids.size(); ++k)
+          out.push_back(blk.offset + static_cast<long>(k));
+  }
+  return out;
+}
+
+}  // namespace
+
+Task<std::unique_ptr<NeighborAlltoallv>> neighbor_alltoallv_init_locality(
+    Context& ctx, const simmpi::DistGraph& graph, AlltoallvArgs args,
+    LocalityOptions opts) {
+  const bool dedup = opts.dedup;
+  detail::validate_args(graph, args, dedup);
+  const Comm& comm = graph.comm;
+  const auto& machine = ctx.engine().machine();
+
+  auto obj = std::make_unique<LocalityNeighbor>();
+  obj->args = args;
+  obj->dedup = dedup;
+
+  const int me = comm.rank();
+  auto region_of = [&](int local) {
+    return machine.region_of(comm.global(local));
+  };
+  const int my_region = region_of(me);
+
+  const int tag_l = ctx.engine().next_coll_tag(comm);
+  const int tag_s = ctx.engine().next_coll_tag(comm);
+  const int tag_g = ctx.engine().next_coll_tag(comm);
+  const int tag_r = ctx.engine().next_coll_tag(comm);
+  const int tag_hs = ctx.engine().next_coll_tag(comm);
+
+  // ---- l phase: straight from this rank's own arguments ------------------
+  std::map<int, int> dst_index, src_index;
+  for (std::size_t i = 0; i < graph.destinations.size(); ++i)
+    dst_index[graph.destinations[i]] = static_cast<int>(i);
+  for (std::size_t i = 0; i < graph.sources.size(); ++i)
+    src_index[graph.sources[i]] = static_cast<int>(i);
+
+  for (std::size_t i = 0; i < graph.destinations.size(); ++i) {
+    const int d = graph.destinations[i];
+    if (region_of(d) != my_region) continue;
+    auto seg = args.sendbuf.subspan(args.sdispls[i], args.sendcounts[i]);
+    obj->l_sends.push_back(Request::send(comm, std::as_bytes(seg), d, tag_l));
+    ++obj->stat.local_msgs;
+    obj->stat.local_values += args.sendcounts[i];
+  }
+  for (std::size_t i = 0; i < graph.sources.size(); ++i) {
+    const int s = graph.sources[i];
+    if (region_of(s) != my_region) continue;
+    auto seg = args.recvbuf.subspan(args.rdispls[i], args.recvcounts[i]);
+    obj->l_recvs.push_back(
+        Request::recv(comm, std::as_writable_bytes(seg), s, tag_l));
+  }
+
+  // ---- metadata exchange within the region --------------------------------
+  Comm rc = co_await coll::split_by_region(ctx, comm);
+  const int nlocal = rc.size();
+  const int my_core = rc.rank();
+  auto blob = detail::serialize_edges(graph, args, dedup);
+  auto all_md = co_await coll::allgatherv<long long>(ctx, rc, std::move(blob));
+  ctx.compute(opts.setup_compute_per_word *
+              static_cast<double>(all_md.size()));
+  std::vector<Edge> out_edges, in_edges;
+  detail::parse_edges(all_md, dedup, out_edges, in_edges);
+
+  // Group remote traffic by peer region (std::map => ascending region ids,
+  // identical on every member since the metadata is identical).
+  std::map<int, std::vector<const Edge*>> out_pairs, in_pairs;
+  for (const auto& e : out_edges) {
+    const int q = region_of(e.dst);
+    if (q != my_region) out_pairs[q].push_back(&e);
+  }
+  for (const auto& e : in_edges) {
+    const int rr = region_of(e.src);
+    if (rr != my_region) in_pairs[rr].push_back(&e);
+  }
+
+  // ---- leader assignment ---------------------------------------------------
+  std::vector<std::pair<int, long>> out_loads, in_loads;
+  for (const auto& [q, v] : out_pairs) {
+    long t = 0;
+    for (const Edge* e : v) t += e->count;
+    out_loads.emplace_back(q, t);
+  }
+  for (const auto& [rr, v] : in_pairs) {
+    long t = 0;
+    for (const Edge* e : v) t += e->count;
+    in_loads.emplace_back(rr, t);
+  }
+  const auto out_assign =
+      detail::assign_leaders(out_loads, nlocal, opts.lpt_balance);
+  const auto in_assign =
+      detail::assign_leaders(in_loads, nlocal, opts.lpt_balance);
+  std::map<int, int> out_leader_core, in_leader_core;
+  for (std::size_t i = 0; i < out_loads.size(); ++i)
+    out_leader_core[out_loads[i].first] = out_assign[i];
+  for (std::size_t i = 0; i < in_loads.size(); ++i)
+    in_leader_core[in_loads[i].first] = in_assign[i];
+
+  // ---- rank translation tables --------------------------------------------
+  auto members = comm.members();
+  std::vector<int> g2l(machine.num_ranks(), -1);
+  for (int i = 0; i < comm.size(); ++i) g2l[members[i]] = i;
+  std::map<int, int> region_root;  // region -> smallest comm-local member
+  for (int i = 0; i < comm.size(); ++i) {
+    const int reg = machine.region_of(members[i]);
+    auto [it, fresh] = region_root.emplace(reg, i);
+    if (!fresh) it->second = std::min(it->second, i);
+  }
+  auto core_to_local = [&](int core) { return g2l[rc.global(core)]; };
+  ctx.compute(opts.setup_compute_per_word * comm.size());
+
+  // ---- root handshake: learn peer-region leaders ---------------------------
+  // For pair (A -> B): A's root tells B's root A's send leader; B's root
+  // tells A's root B's receive leader.  Message ordering per root channel is
+  // deterministic (outbound loop before inbound loop on both ends).
+  std::map<int, int> g_dst_leader;  // Q  -> comm-local recv leader in Q
+  std::map<int, int> g_src_leader;  // R' -> comm-local send leader in R'
+  std::vector<long long> hs_blob;
+  if (me == region_root.at(my_region)) {
+    for (const auto& [q, core] : out_leader_core)
+      co_await coll::send_val<long long>(
+          ctx, comm, region_root.at(q), core_to_local(core), tag_hs);
+    for (const auto& [rr, core] : in_leader_core)
+      co_await coll::send_val<long long>(
+          ctx, comm, region_root.at(rr), core_to_local(core), tag_hs);
+    for (const auto& [rr, v] : in_pairs)
+      g_src_leader[rr] = static_cast<int>(co_await coll::recv_val<long long>(
+          ctx, comm, region_root.at(rr), tag_hs));
+    for (const auto& [q, v] : out_pairs)
+      g_dst_leader[q] = static_cast<int>(co_await coll::recv_val<long long>(
+          ctx, comm, region_root.at(q), tag_hs));
+    hs_blob.push_back(static_cast<long long>(g_src_leader.size()));
+    for (const auto& [rr, l] : g_src_leader) {
+      hs_blob.push_back(rr);
+      hs_blob.push_back(l);
+    }
+    hs_blob.push_back(static_cast<long long>(g_dst_leader.size()));
+    for (const auto& [q, l] : g_dst_leader) {
+      hs_blob.push_back(q);
+      hs_blob.push_back(l);
+    }
+  }
+  co_await coll::bcast(ctx, rc, hs_blob, 0);
+  if (me != region_root.at(my_region)) {
+    std::size_t pos = 0;
+    const long long nin = hs_blob[pos++];
+    for (long long i = 0; i < nin; ++i) {
+      const int rr = static_cast<int>(hs_blob[pos++]);
+      g_src_leader[rr] = static_cast<int>(hs_blob[pos++]);
+    }
+    const long long nout = hs_blob[pos++];
+    for (long long i = 0; i < nout; ++i) {
+      const int q = static_cast<int>(hs_blob[pos++]);
+      g_dst_leader[q] = static_cast<int>(hs_blob[pos++]);
+    }
+  }
+
+  // ---- pair layouts and staging buffers ------------------------------------
+  std::map<int, PairLayout> out_layout, in_layout;
+  for (const auto& [q, v] : out_pairs)
+    out_layout[q] = detail::pair_layout(v, dedup);
+  for (const auto& [rr, v] : in_pairs)
+    in_layout[rr] = detail::pair_layout(v, dedup);
+
+  std::vector<int> my_out_qs, my_in_rs;
+  for (const auto& [q, core] : out_leader_core)
+    if (core == my_core) my_out_qs.push_back(q);
+  for (const auto& [rr, core] : in_leader_core)
+    if (core == my_core) my_in_rs.push_back(rr);
+
+  std::map<int, long> s_block_off, g_block_off;
+  long s_total = 0, g_total = 0;
+  for (int q : my_out_qs) {
+    s_block_off[q] = s_total;
+    s_total += out_layout[q].total;
+  }
+  for (int rr : my_in_rs) {
+    g_block_off[rr] = g_total;
+    g_total += in_layout[rr].total;
+  }
+  obj->s_stage.resize(s_total);
+  obj->g_stage.resize(g_total);
+
+  // ---- g phase --------------------------------------------------------------
+  for (int q : my_out_qs) {
+    auto seg = std::span<double>(obj->s_stage)
+                   .subspan(s_block_off[q], out_layout[q].total);
+    obj->g_sends.push_back(Request::send(
+        comm, std::as_bytes(std::span<const double>(seg)), g_dst_leader.at(q),
+        tag_g));
+    ++obj->stat.global_msgs;
+    obj->stat.global_values += out_layout[q].total;
+    obj->stat.max_global_msg_values =
+        std::max(obj->stat.max_global_msg_values, out_layout[q].total);
+  }
+  for (int rr : my_in_rs) {
+    auto seg = std::span<double>(obj->g_stage)
+                   .subspan(g_block_off[rr], in_layout[rr].total);
+    obj->g_recvs.push_back(Request::recv(comm, std::as_writable_bytes(seg),
+                                         g_src_leader.at(rr), tag_g));
+  }
+
+  // ---- s phase: source side --------------------------------------------------
+  for (int L = 0; L < nlocal; ++L) {
+    std::vector<int> gather;
+    std::vector<int> self_dst;
+    for (const auto& [q, core] : out_leader_core) {
+      if (core != L) continue;
+      if (!dedup) {
+        for (const Edge* e : out_pairs.at(q)) {
+          if (e->src != me) continue;
+          const int i = dst_index.at(e->dst);
+          for (int k = 0; k < e->count; ++k)
+            gather.push_back(args.sdispls[i] + k);
+        }
+      } else {
+        // Unique gids this rank contributes to Q, each gathered from its
+        // first occurrence in the send buffer.
+        std::map<gidx, int> first;
+        for (const Edge* e : out_pairs.at(q)) {
+          if (e->src != me) continue;
+          const int i = dst_index.at(e->dst);
+          for (int k = 0; k < e->count; ++k)
+            first.emplace(args.send_idx[args.sdispls[i] + k],
+                          args.sdispls[i] + k);
+        }
+        for (const auto& [gid, pos] : first) gather.push_back(pos);
+      }
+      if (L == my_core) {
+        for (long off :
+             src_item_offsets(out_layout.at(q), out_pairs.at(q), me, dedup))
+          self_dst.push_back(static_cast<int>(s_block_off.at(q) + off));
+      }
+    }
+    if (gather.empty()) continue;
+    if (L == my_core) {
+      obj->s_self.src = std::move(gather);
+      obj->s_self.dst = std::move(self_dst);
+    } else {
+      PlanMsg m;
+      m.peer = core_to_local(L);
+      m.gather = std::move(gather);
+      m.buf.resize(m.gather.size());
+      m.req = Request::send(
+          comm,
+          std::as_bytes(std::span<const double>(m.buf.data(), m.buf.size())),
+          m.peer, tag_s);
+      ++obj->stat.local_msgs;
+      obj->stat.local_values += static_cast<long>(m.gather.size());
+      obj->s_sends.push_back(std::move(m));
+    }
+  }
+
+  // ---- s phase: leader side ---------------------------------------------------
+  if (!my_out_qs.empty()) {
+    for (int core = 0; core < nlocal; ++core) {
+      const int src = core_to_local(core);
+      if (src == me) continue;
+      std::vector<int> sc_dst;
+      for (int q : my_out_qs)
+        for (long off :
+             src_item_offsets(out_layout.at(q), out_pairs.at(q), src, dedup))
+          sc_dst.push_back(static_cast<int>(s_block_off.at(q) + off));
+      if (sc_dst.empty()) continue;
+      PlanMsg m;
+      m.peer = src;
+      m.scatter_dst = std::move(sc_dst);
+      m.scatter_src.resize(m.scatter_dst.size());
+      std::iota(m.scatter_src.begin(), m.scatter_src.end(), 0);
+      m.buf.resize(m.scatter_dst.size());
+      m.req = Request::recv(
+          comm, std::as_writable_bytes(std::span<double>(m.buf)), m.peer,
+          tag_s);
+      obj->s_recvs.push_back(std::move(m));
+    }
+  }
+
+  // ---- r phase: leader side -----------------------------------------------------
+  std::vector<int> self_vals;  // value gather list when I am my own dest
+  if (!my_in_rs.empty()) {
+    for (int core = 0; core < nlocal; ++core) {
+      const int d = core_to_local(core);
+      std::vector<int> gather;
+      for (int rr : my_in_rs) {
+        const auto& pair = in_pairs.at(rr);
+        const auto& lay = in_layout.at(rr);
+        for (std::size_t e = 0; e < pair.size(); ++e) {
+          if (pair[e]->dst != d) continue;
+          if (!dedup) {
+            for (int k = 0; k < pair[e]->count; ++k)
+              gather.push_back(static_cast<int>(
+                  g_block_off.at(rr) + lay.segments[e].offset + k));
+          } else {
+            for (gidx gid : detail::unique_sorted(pair[e]->gids))
+              gather.push_back(static_cast<int>(
+                  g_block_off.at(rr) + lay.find(pair[e]->src, gid)));
+          }
+        }
+      }
+      if (gather.empty()) continue;
+      if (d == me) {
+        self_vals = std::move(gather);
+      } else {
+        PlanMsg m;
+        m.peer = d;
+        m.gather = std::move(gather);
+        m.buf.resize(m.gather.size());
+        m.req = Request::send(
+            comm,
+            std::as_bytes(std::span<const double>(m.buf.data(), m.buf.size())),
+            m.peer, tag_r);
+        ++obj->stat.local_msgs;
+        obj->stat.local_values += static_cast<long>(m.gather.size());
+        obj->r_sends.push_back(std::move(m));
+      }
+    }
+  }
+
+  // ---- r phase: destination side ---------------------------------------------
+  for (int core = 0; core < nlocal; ++core) {
+    std::vector<int> sc_src, sc_dst;
+    int value_pos = 0;
+    for (const auto& [rr, lcore] : in_leader_core) {
+      if (lcore != core) continue;
+      for (const Edge* e : in_pairs.at(rr)) {
+        if (e->dst != me) continue;
+        const int i = src_index.at(e->src);
+        if (!dedup) {
+          for (int k = 0; k < e->count; ++k) {
+            sc_src.push_back(value_pos++);
+            sc_dst.push_back(args.rdispls[i] + k);
+          }
+        } else {
+          const auto u = detail::unique_sorted(e->gids);
+          for (std::size_t ui = 0; ui < u.size(); ++ui)
+            for (int k = 0; k < e->count; ++k)
+              if (args.recv_idx[args.rdispls[i] + k] == u[ui]) {
+                sc_src.push_back(value_pos + static_cast<int>(ui));
+                sc_dst.push_back(args.rdispls[i] + k);
+              }
+          value_pos += static_cast<int>(u.size());
+        }
+      }
+    }
+    if (sc_dst.empty()) continue;
+    if (core == my_core) {
+      // I am my own in-leader: resolve through the value list computed on
+      // the leader side.
+      obj->r_self.src.resize(sc_dst.size());
+      obj->r_self.dst = sc_dst;
+      for (std::size_t k = 0; k < sc_dst.size(); ++k)
+        obj->r_self.src[k] = self_vals[sc_src[k]];
+    } else {
+      PlanMsg m;
+      m.peer = core_to_local(core);
+      m.scatter_src = std::move(sc_src);
+      m.scatter_dst = std::move(sc_dst);
+      m.buf.resize(value_pos);
+      m.req = Request::recv(
+          comm, std::as_writable_bytes(std::span<double>(m.buf)), m.peer,
+          tag_r);
+      obj->r_recvs.push_back(std::move(m));
+    }
+  }
+
+  // Charge the plan-construction work (index map building) to this rank.
+  ctx.compute(opts.setup_compute_per_word *
+              static_cast<double>(s_total + g_total + out_edges.size() +
+                                  in_edges.size() + nlocal));
+  (void)tag_l;
+  co_return std::unique_ptr<NeighborAlltoallv>(std::move(obj));
+}
+
+}  // namespace mpix

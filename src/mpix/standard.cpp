@@ -1,0 +1,79 @@
+/// \file standard.cpp
+/// \brief Standard persistent neighbor alltoallv: p2p wrap (Algorithms 1-3).
+
+#include "mpix/detail.hpp"
+#include "mpix/neighbor.hpp"
+
+namespace mpix {
+
+namespace {
+
+using simmpi::Context;
+using simmpi::Request;
+using simmpi::Task;
+
+class StandardNeighbor final : public NeighborAlltoallv {
+ public:
+  StandardNeighbor(Context& ctx, const simmpi::DistGraph& graph,
+                   AlltoallvArgs args)
+      : args_(std::move(args)) {
+    detail::validate_args(graph, args_, /*need_idx=*/false);
+    const simmpi::Comm& comm = graph.comm;
+    const int tag = ctx.engine().next_coll_tag(comm);
+    const auto& machine = ctx.engine().machine();
+    const int my_region = machine.region_of(comm.global(comm.rank()));
+
+    sends_.reserve(graph.destinations.size());
+    for (std::size_t i = 0; i < graph.destinations.size(); ++i) {
+      const int dst = graph.destinations[i];
+      auto seg = args_.sendbuf.subspan(args_.sdispls[i], args_.sendcounts[i]);
+      sends_.push_back(Request::send(comm, std::as_bytes(seg), dst, tag));
+      const bool global = machine.region_of(comm.global(dst)) != my_region;
+      if (global) {
+        ++stats_.global_msgs;
+        stats_.global_values += args_.sendcounts[i];
+        stats_.max_global_msg_values = std::max(
+            stats_.max_global_msg_values,
+            static_cast<long>(args_.sendcounts[i]));
+      } else {
+        ++stats_.local_msgs;
+        stats_.local_values += args_.sendcounts[i];
+      }
+    }
+    recvs_.reserve(graph.sources.size());
+    for (std::size_t i = 0; i < graph.sources.size(); ++i) {
+      auto seg = args_.recvbuf.subspan(args_.rdispls[i], args_.recvcounts[i]);
+      recvs_.push_back(Request::recv(comm, std::as_writable_bytes(seg),
+                                     graph.sources[i], tag));
+    }
+  }
+
+  Task<> start(Context& ctx) override {
+    for (auto& s : sends_) s.start(ctx);
+    for (auto& r : recvs_) r.start(ctx);
+    co_return;
+  }
+
+  Task<> wait(Context& ctx) override {
+    for (auto& s : sends_) co_await ctx.wait(s);
+    for (auto& r : recvs_) co_await ctx.wait(r);
+  }
+
+  NeighborStats stats() const override { return stats_; }
+  const char* name() const override { return "standard"; }
+
+ private:
+  AlltoallvArgs args_;
+  std::vector<Request> sends_;
+  std::vector<Request> recvs_;
+  NeighborStats stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<NeighborAlltoallv> neighbor_alltoallv_init_standard(
+    simmpi::Context& ctx, const simmpi::DistGraph& graph, AlltoallvArgs args) {
+  return std::make_unique<StandardNeighbor>(ctx, graph, std::move(args));
+}
+
+}  // namespace mpix

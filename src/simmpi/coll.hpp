@@ -1,0 +1,352 @@
+#pragma once
+/// \file coll.hpp
+/// \brief Collective operations built on the simulated point-to-point layer.
+///
+/// The algorithms are the textbook logarithmic ones (dissemination barrier,
+/// binomial broadcast, recursive-doubling allreduce, Bruck allgather), so
+/// collective *costs* in the simulator scale the way real MPI libraries do.
+/// All operations are collective over the communicator: every member must
+/// call them in the same order.  Reduction operators must be associative and
+/// commutative.
+///
+/// Values of type `T` must be trivially copyable.
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <type_traits>
+#include <vector>
+
+#include "simmpi/engine.hpp"
+
+namespace simmpi::coll {
+
+namespace detail {
+
+template <class T>
+std::span<const std::byte> one_as_bytes(const T& v) {
+  return std::as_bytes(std::span<const T>(&v, 1));
+}
+template <class T>
+std::span<std::byte> one_as_writable(T& v) {
+  return std::as_writable_bytes(std::span<T>(&v, 1));
+}
+template <class T>
+std::span<const std::byte> vec_as_bytes(const std::vector<T>& v) {
+  return std::as_bytes(std::span<const T>(v.data(), v.size()));
+}
+template <class T>
+std::span<std::byte> vec_as_writable(std::vector<T>& v) {
+  return std::as_writable_bytes(std::span<T>(v.data(), v.size()));
+}
+
+}  // namespace detail
+
+/// Send a single value to `peer` and wait for local completion.
+template <class T>
+Task<> send_val(Context& ctx, Comm comm, int peer, T v, int tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto s = Request::send(comm, detail::one_as_bytes(v), peer, tag);
+  s.start(ctx);
+  co_await ctx.wait(s);
+}
+
+/// Receive a single value from `peer`.
+template <class T>
+Task<T> recv_val(Context& ctx, Comm comm, int peer, int tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v{};
+  auto r = Request::recv(comm, detail::one_as_writable(v), peer, tag);
+  r.start(ctx);
+  co_await ctx.wait(r);
+  co_return v;
+}
+
+/// Simultaneously exchange one value with `peer`.
+template <class T>
+Task<T> sendrecv_val(Context& ctx, Comm comm, int peer, T v, int tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T in{};
+  auto s = Request::send(comm, detail::one_as_bytes(v), peer, tag);
+  auto r = Request::recv(comm, detail::one_as_writable(in), peer, tag);
+  s.start(ctx);
+  r.start(ctx);
+  co_await ctx.wait(s);
+  co_await ctx.wait(r);
+  co_return in;
+}
+
+/// Dissemination barrier: log2(P) rounds of zero-byte messages.  No rank
+/// leaves before every rank has entered.
+inline Task<> barrier(Context& ctx, Comm comm) {
+  const int p = comm.size();
+  if (p == 1) co_return;
+  const int tag = ctx.engine().next_coll_tag(comm);
+  const int r = comm.rank();
+  for (int k = 1; k < p; k <<= 1) {
+    const int dst = (r + k) % p;
+    const int src = (r - k + p) % p;
+    auto s = Request::send(comm, {}, dst, tag);
+    auto rr = Request::recv(comm, {}, src, tag);
+    s.start(ctx);
+    rr.start(ctx);
+    co_await ctx.wait(s);
+    co_await ctx.wait(rr);
+  }
+}
+
+/// Binomial-tree broadcast of a variable-size vector.  Non-root vectors are
+/// resized to the incoming payload.
+template <class T>
+Task<> bcast(Context& ctx, Comm comm, std::vector<T>& data, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = comm.size();
+  if (p == 1) co_return;
+  const int tag = ctx.engine().next_coll_tag(comm);
+  const int r = comm.rank();
+  const int vr = (r - root + p) % p;
+
+  if (vr != 0) {
+    const int lowbit = vr & (-vr);
+    const int parent = ((vr ^ lowbit) + root) % p;
+    auto rr = Request::recv_dyn(comm, parent, tag);
+    rr.start(ctx);
+    co_await ctx.wait(rr);
+    auto payload = rr.take_payload();
+    data.resize(payload.size() / sizeof(T));
+    if (!payload.empty())
+      std::memcpy(data.data(), payload.data(), payload.size());
+  }
+  int maxmask = 1;
+  while (maxmask < p) maxmask <<= 1;
+  const int start = (vr == 0) ? (maxmask >> 1) : ((vr & (-vr)) >> 1);
+  for (int mask = start; mask >= 1; mask >>= 1) {
+    const int child = vr | mask;
+    if (child != vr && child < p) {
+      auto s = Request::send(comm, detail::vec_as_bytes(data),
+                             (child + root) % p, tag);
+      s.start(ctx);
+      co_await ctx.wait(s);
+    }
+  }
+}
+
+/// Recursive-doubling allreduce with pre/post folding for non-power-of-two
+/// communicator sizes.  `op(T,T)` must be associative and commutative.
+template <class T, class F>
+Task<T> allreduce(Context& ctx, Comm comm, T val, F op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = comm.size();
+  if (p == 1) co_return val;
+  const int tag = ctx.engine().next_coll_tag(comm);
+  const int r = comm.rank();
+  int m = 1;
+  while (m * 2 <= p) m *= 2;
+  const int extras = p - m;
+
+  if (r >= m) {
+    co_await send_val(ctx, comm, r - m, val, tag);
+  } else if (r < extras) {
+    T other = co_await recv_val<T>(ctx, comm, r + m, tag);
+    val = op(val, other);
+  }
+  if (r < m) {
+    for (int k = 1; k < m; k <<= 1) {
+      T other = co_await sendrecv_val(ctx, comm, r ^ k, val, tag);
+      val = op(val, other);
+    }
+  }
+  if (r < extras) {
+    co_await send_val(ctx, comm, r + m, val, tag);
+  } else if (r >= m) {
+    val = co_await recv_val<T>(ctx, comm, r - m, tag);
+  }
+  co_return val;
+}
+
+/// Bruck allgather of one `T` per rank; result[i] is rank i's contribution.
+template <class T>
+Task<std::vector<T>> allgather(Context& ctx, Comm comm, T mine) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = comm.size();
+  const int r = comm.rank();
+  std::vector<T> acc;
+  acc.reserve(p);
+  acc.push_back(mine);
+  if (p > 1) {
+    const int tag = ctx.engine().next_coll_tag(comm);
+    while (static_cast<int>(acc.size()) < p) {
+      const int c = static_cast<int>(acc.size());
+      const int nblk = std::min(c, p - c);
+      const int dst = (r - c + p + p) % p;
+      const int src = (r + c) % p;
+      std::vector<T> in(nblk);
+      auto s = Request::send(
+          comm, std::as_bytes(std::span<const T>(acc.data(), nblk)), dst, tag);
+      auto rr = Request::recv(comm, detail::vec_as_writable(in), src, tag);
+      s.start(ctx);
+      rr.start(ctx);
+      co_await ctx.wait(s);
+      co_await ctx.wait(rr);
+      acc.insert(acc.end(), in.begin(), in.end());
+    }
+  }
+  // acc[i] is the block of rank (r+i) mod p; undo the rotation.
+  std::vector<T> res(p);
+  for (int i = 0; i < p; ++i) res[(r + i) % p] = acc[i];
+  co_return res;
+}
+
+/// Bruck allgatherv: gathers every rank's vector, concatenated in rank
+/// order.  If `counts_out` is non-null it receives the per-rank element
+/// counts.  Two phases: an allgather of sizes, then the Bruck exchange with
+/// fully predictable message sizes (as MPI_Allgatherv requires).
+template <class T>
+Task<std::vector<T>> allgatherv(Context& ctx, Comm comm, std::vector<T> mine,
+                                std::vector<int>* counts_out = nullptr) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = comm.size();
+  const int r = comm.rank();
+  std::vector<int> counts =
+      co_await allgather<int>(ctx, comm, static_cast<int>(mine.size()));
+  if (counts_out) *counts_out = counts;
+
+  // acc holds the payloads of ranks (r+i)%p for i in [0, nblocks).
+  std::vector<T> acc = std::move(mine);
+  int nblocks = 1;
+  if (p > 1) {
+    const int tag = ctx.engine().next_coll_tag(comm);
+    auto block_count = [&](int first, int n) {
+      long total = 0;
+      for (int i = 0; i < n; ++i) total += counts[(first + i) % p];
+      return total;
+    };
+    while (nblocks < p) {
+      const int c = nblocks;
+      const int nblk = std::min(c, p - c);
+      const int dst = (r - c + p + p) % p;
+      const int src = (r + c) % p;
+      const long send_elems = block_count(r, nblk);
+      const long recv_elems = block_count(src, nblk);
+      std::vector<T> in(recv_elems);
+      auto s = Request::send(
+          comm, std::as_bytes(std::span<const T>(acc.data(), send_elems)), dst,
+          tag);
+      auto rr = Request::recv(comm, detail::vec_as_writable(in), src, tag);
+      s.start(ctx);
+      rr.start(ctx);
+      co_await ctx.wait(s);
+      co_await ctx.wait(rr);
+      acc.insert(acc.end(), in.begin(), in.end());
+      nblocks += nblk;
+    }
+  }
+  // Undo rotation: block i of acc belongs to rank (r+i)%p.
+  std::vector<long> offsets(p + 1, 0);
+  for (int i = 0; i < p; ++i) offsets[i + 1] = offsets[i] + counts[i];
+  std::vector<T> res(offsets[p]);
+  long pos = 0;
+  for (int i = 0; i < p; ++i) {
+    const int owner = (r + i) % p;
+    std::copy_n(acc.begin() + pos, counts[owner],
+                res.begin() + offsets[owner]);
+    pos += counts[owner];
+  }
+  co_return res;
+}
+
+/// Exclusive scan (MPI_Exscan).  Rank 0 receives `init`.
+/// Hillis–Steele with a one-rank shift; O(log P) rounds.
+template <class T, class F>
+Task<T> exscan(Context& ctx, Comm comm, T val, F op, T init) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = comm.size();
+  const int r = comm.rank();
+  if (p == 1) co_return init;
+  const int tag = ctx.engine().next_coll_tag(comm);
+
+  struct Partial {
+    T value;
+    bool valid;
+  };
+  // Shift contributions up by one rank.
+  Partial cur{init, false};
+  {
+    Request s, rr;
+    if (r + 1 < p) {
+      s = Request::send(comm, detail::one_as_bytes(val), r + 1, tag);
+      s.start(ctx);
+    }
+    if (r > 0) {
+      rr = Request::recv(comm, detail::one_as_writable(cur.value), r - 1, tag);
+      rr.start(ctx);
+    }
+    if (r + 1 < p) co_await ctx.wait(s);
+    if (r > 0) {
+      co_await ctx.wait(rr);
+      cur.valid = true;
+    }
+  }
+  // Inclusive Hillis–Steele scan over the shifted values.
+  for (int k = 1; k < p; k <<= 1) {
+    Request s, rr;
+    Partial in{};
+    if (r + k < p) {
+      s = Request::send(comm, detail::one_as_bytes(cur), r + k, tag + 1);
+      s.start(ctx);
+    }
+    if (r - k >= 0) {
+      rr = Request::recv(comm, detail::one_as_writable(in), r - k, tag + 1);
+      rr.start(ctx);
+    }
+    if (r + k < p) co_await ctx.wait(s);
+    if (r - k >= 0) {
+      co_await ctx.wait(rr);
+      if (in.valid)
+        cur = Partial{cur.valid ? op(in.value, cur.value) : in.value, true};
+    }
+  }
+  co_return cur.valid ? cur.value : init;
+}
+
+/// Personalized all-to-all of variable-size vectors: `sendto[i]` goes to
+/// local rank i; returns what each rank sent to us.  Pairwise exchange,
+/// P-1 rounds (plus a local copy for the self block).
+template <class T>
+Task<std::vector<std::vector<T>>> alltoallv(
+    Context& ctx, Comm comm, const std::vector<std::vector<T>>& sendto) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = comm.size();
+  const int r = comm.rank();
+  if (static_cast<int>(sendto.size()) != p)
+    throw SimError("alltoallv: sendto must have one entry per rank");
+  const int tag = ctx.engine().next_coll_tag(comm);
+  std::vector<std::vector<T>> recvfrom(p);
+  recvfrom[r] = sendto[r];
+  for (int k = 1; k < p; ++k) {
+    const int dst = (r + k) % p;
+    const int src = (r - k + p) % p;
+    auto s = Request::send(comm, detail::vec_as_bytes(sendto[dst]), dst, tag);
+    auto rr = Request::recv_dyn(comm, src, tag);
+    s.start(ctx);
+    rr.start(ctx);
+    co_await ctx.wait(s);
+    co_await ctx.wait(rr);
+    auto payload = rr.take_payload();
+    recvfrom[src].resize(payload.size() / sizeof(T));
+    if (!payload.empty())
+      std::memcpy(recvfrom[src].data(), payload.data(), payload.size());
+  }
+  co_return recvfrom;
+}
+
+/// Split a communicator (MPI_Comm_split).  All members call collectively
+/// with a non-negative color; members of the same color form a new
+/// communicator ordered by (key, rank).
+Task<Comm> comm_split(Context& ctx, Comm comm, int color, int key);
+
+/// Split by machine region (the paper's aggregation domain): every rank
+/// lands in the communicator of its NUMA region / CPU socket.
+Task<Comm> split_by_region(Context& ctx, Comm comm);
+
+}  // namespace simmpi::coll

@@ -1,0 +1,139 @@
+#pragma once
+/// \file comm.hpp
+/// \brief Communicators, channels and (persistent) point-to-point requests.
+///
+/// The API deliberately mirrors MPI semantics (LLNL MPI tutorial / MPI 4.0):
+/// nonblocking `isend`/`irecv`, persistent `send_init`/`recv_init` +
+/// `start`/`wait`, FIFO matching per (communicator, source, destination,
+/// tag) channel.  Wildcards (`MPI_ANY_SOURCE`/`MPI_ANY_TAG`) are not
+/// supported — the neighborhood collective implementations never need them.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "simmpi/types.hpp"
+
+namespace simmpi {
+
+class Engine;
+class Context;
+
+/// Identifies one ordered message channel.
+struct ChannelKey {
+  std::uint32_t ctx = 0;  ///< communicator context id
+  std::int32_t src = -1;  ///< global source rank
+  std::int32_t dst = -1;  ///< global destination rank
+  std::int32_t tag = -1;
+  bool operator==(const ChannelKey&) const = default;
+};
+
+struct ChannelKeyHash {
+  std::size_t operator()(const ChannelKey& k) const noexcept {
+    std::uint64_t h = k.ctx;
+    h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint32_t>(k.src);
+    h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint32_t>(k.dst);
+    h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint32_t>(k.tag);
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// A message in flight: payload plus modeled arrival time at the receiver.
+struct Message {
+  std::vector<std::byte> payload;
+  double arrival = 0.0;
+};
+
+/// Shared, immutable membership data of a communicator.
+struct CommData {
+  std::uint32_t ctx_id = 0;
+  std::vector<int> members;  ///< global rank of each local rank
+};
+
+/// Lightweight per-rank communicator handle (cheap to copy).
+///
+/// A `Comm` combines shared membership data with the calling rank's local
+/// rank.  All peer arguments of its methods are *local* ranks within the
+/// communicator, as in MPI.
+class Comm {
+ public:
+  Comm() = default;
+  Comm(Engine* eng, std::shared_ptr<const CommData> data, int local_rank)
+      : eng_(eng), data_(std::move(data)), rank_(local_rank) {}
+
+  bool valid() const { return data_ != nullptr; }
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(data_->members.size()); }
+  std::uint32_t id() const { return data_->ctx_id; }
+  /// Translate a local rank to the global (world) rank.
+  int global(int local) const { return data_->members[local]; }
+  std::span<const int> members() const { return data_->members; }
+  Engine& engine() const { return *eng_; }
+
+  /// Locality tier between this rank and local rank `peer`.
+  Locality locality_of(int peer) const;
+
+ private:
+  Engine* eng_ = nullptr;
+  std::shared_ptr<const CommData> data_{};
+  int rank_ = -1;
+};
+
+/// A point-to-point request (persistent or one-shot).
+///
+/// Lifecycle mirrors MPI persistent requests: build with `Request::send` /
+/// `Request::recv` (equivalents of `MPI_Send_init` / `MPI_Recv_init`),
+/// then repeatedly `start()` and `co_await ctx.wait(req)`.
+/// The buffer span must stay valid for the lifetime of the request.
+class Request {
+ public:
+  Request() = default;
+
+  /// Persistent-send request to local rank `dst` with message tag `tag`.
+  static Request send(const Comm& comm, std::span<const std::byte> buf,
+                      int dst, int tag);
+  /// Persistent-receive request from local rank `src` with tag `tag`.
+  static Request recv(const Comm& comm, std::span<std::byte> buf, int src,
+                      int tag);
+  /// Receive request with no pre-sized buffer: the payload is captured into
+  /// an internal vector, retrievable with `take_payload()`.  Used where the
+  /// receiver cannot know the message size up front.
+  static Request recv_dyn(const Comm& comm, int src, int tag);
+
+  /// Begin the communication: posts the message (send) or arms the
+  /// matching slot (recv).  Equivalent of `MPI_Start`.
+  void start(Context& ctx);
+
+  bool is_send() const { return is_send_; }
+  bool started() const { return started_; }
+  const Comm& comm() const { return comm_; }
+  int peer() const { return peer_; }
+  int tag() const { return tag_; }
+  /// Channel key this request matches on.
+  ChannelKey key() const;
+  /// Bytes actually received by the last completed receive.
+  std::size_t received_bytes() const { return received_; }
+  /// Move out the payload captured by a completed `recv_dyn` request.
+  std::vector<std::byte> take_payload() { return std::move(payload_); }
+
+ private:
+  friend class Engine;
+  friend class Context;
+  friend struct WaitAwaiter;
+  Comm comm_{};
+  std::span<const std::byte> sbuf_{};
+  std::span<std::byte> rbuf_{};
+  std::vector<std::byte> payload_{};
+  int peer_ = -1;
+  int tag_ = -1;
+  bool is_send_ = false;
+  bool dyn_ = false;
+  bool started_ = false;
+  std::size_t received_ = 0;
+};
+
+}  // namespace simmpi

@@ -1,0 +1,51 @@
+#include "simmpi/cost_model.hpp"
+
+namespace simmpi {
+
+CostParams CostParams::lassen() {
+  CostParams p;
+  // self: a rank "sending" to itself is a memcpy through L2.
+  p.tier[static_cast<int>(Locality::self)] = {
+      .short_ = {.alpha = 1.0e-7, .beta = 1.0 / 50.0e9},
+      .eager = {.alpha = 1.5e-7, .beta = 1.0 / 40.0e9},
+      .rend = {.alpha = 3.0e-7, .beta = 1.0 / 30.0e9},
+  };
+  // region: same CPU socket, through shared L3 / memory controller.
+  p.tier[static_cast<int>(Locality::region)] = {
+      .short_ = {.alpha = 5.0e-7, .beta = 1.0 / 30.0e9},
+      .eager = {.alpha = 7.0e-7, .beta = 1.0 / 20.0e9},
+      .rend = {.alpha = 1.2e-6, .beta = 1.0 / 16.0e9},
+  };
+  // node: cross-NUMA through main memory.  Published Lassen data shows this
+  // path costs over twice the network per byte for large messages.
+  p.tier[static_cast<int>(Locality::node)] = {
+      .short_ = {.alpha = 7.0e-7, .beta = 1.0 / 12.0e9},
+      .eager = {.alpha = 9.0e-7, .beta = 1.0 / 8.0e9},
+      .rend = {.alpha = 1.8e-6, .beta = 1.0 / 5.0e9},
+  };
+  // network: EDR InfiniBand.
+  p.tier[static_cast<int>(Locality::network)] = {
+      .short_ = {.alpha = 7.5e-7, .beta = 4.0e-10},
+      .eager = {.alpha = 1.6e-6, .beta = 1.0e-10},
+      .rend = {.alpha = 4.5e-6, .beta = 8.0e-11},
+  };
+  p.send_overhead = 1.2e-7;
+  p.recv_overhead = 1.2e-7;
+  p.queue_search = 1.2e-8;
+  return p;
+}
+
+CostParams CostParams::flat(double alpha, double beta) {
+  CostParams p;
+  for (int t = 0; t < kNumLocalities; ++t) {
+    p.tier[t] = {
+        .short_ = {.alpha = alpha, .beta = beta},
+        .eager = {.alpha = alpha, .beta = beta},
+        .rend = {.alpha = alpha, .beta = beta},
+    };
+  }
+  p.use_injection_cap = false;
+  return p;
+}
+
+}  // namespace simmpi

@@ -1,0 +1,258 @@
+#include "simmpi/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "simmpi/coll.hpp"
+
+namespace simmpi {
+
+Context::Context(Engine& eng, int rank)
+    : eng_(&eng), rank_(rank), world_(&eng, eng.world_data(), rank) {}
+
+Task<> Context::wait_all(std::span<Request> reqs) {
+  for (auto& r : reqs) co_await wait(r);
+}
+
+Task<> Context::wait_all(std::span<Request* const> reqs) {
+  for (auto* r : reqs) co_await wait(*r);
+}
+
+Engine::Engine(Machine machine, CostParams params)
+    : machine_(std::move(machine)),
+      model_(params),
+      clocks_(machine_.num_ranks(), 0.0),
+      nic_free_(machine_.num_nodes(), 0.0),
+      stats_(machine_.num_ranks()),
+      inbox_count_(machine_.num_ranks(), 0) {
+  auto world = std::make_shared<CommData>();
+  world->ctx_id = 0;
+  world->members.resize(machine_.num_ranks());
+  for (int r = 0; r < machine_.num_ranks(); ++r) world->members[r] = r;
+  world_data_ = std::move(world);
+}
+
+void Engine::run(const RankProgram& program) {
+  if (running_) throw SimError("Engine::run: already running");
+  running_ = true;
+  const int nranks = machine_.num_ranks();
+
+  std::vector<std::unique_ptr<Context>> ctxs;
+  ctxs.reserve(nranks);
+  std::vector<Task<>> tasks;
+  tasks.reserve(nranks);
+  for (int r = 0; r < nranks; ++r)
+    ctxs.push_back(std::make_unique<Context>(*this, r));
+  for (int r = 0; r < nranks; ++r) tasks.push_back(program(*ctxs[r]));
+  for (int r = 0; r < nranks; ++r) ready_.push_back(tasks[r].handle());
+
+  while (!ready_.empty()) {
+    auto h = ready_.front();
+    ready_.pop_front();
+    h.resume();
+  }
+  running_ = false;
+
+  // Surface rank exceptions first: they are the usual root cause of an
+  // apparent deadlock (a failed rank stops sending).
+  for (auto& t : tasks) {
+    if (t.done()) t.result();
+  }
+  bool all_done = true;
+  for (auto& t : tasks) all_done = all_done && t.done();
+  if (!all_done) {
+    std::ostringstream os;
+    os << "Engine::run: deadlock; ranks blocked on channels:";
+    int shown = 0;
+    for (auto& [key, h] : waiters_) {
+      if (shown++ == 8) {
+        os << " ...";
+        break;
+      }
+      os << " [ctx=" << key.ctx << " " << key.src << "->" << key.dst
+         << " tag=" << key.tag << "]";
+    }
+    waiters_.clear();
+    mailbox_.clear();
+    pending_messages_ = 0;
+    std::fill(inbox_count_.begin(), inbox_count_.end(), 0);
+    throw SimError(os.str());
+  }
+  if (pending_messages_ != 0) {
+    std::size_t n = pending_messages_;
+    mailbox_.clear();
+    pending_messages_ = 0;
+    std::fill(inbox_count_.begin(), inbox_count_.end(), 0);
+    throw SimError("Engine::run: " + std::to_string(n) +
+                   " message(s) posted but never received");
+  }
+}
+
+double Engine::max_clock() const {
+  return *std::max_element(clocks_.begin(), clocks_.end());
+}
+
+std::uint64_t Engine::max_msgs(std::initializer_list<Locality> tiers) const {
+  std::uint64_t best = 0;
+  for (const auto& rs : stats_) {
+    std::uint64_t n = 0;
+    for (Locality t : tiers) n += rs.tier[static_cast<int>(t)].msgs;
+    best = std::max(best, n);
+  }
+  return best;
+}
+
+std::uint64_t Engine::max_bytes(std::initializer_list<Locality> tiers) const {
+  std::uint64_t best = 0;
+  for (const auto& rs : stats_) {
+    std::uint64_t n = 0;
+    for (Locality t : tiers) n += rs.tier[static_cast<int>(t)].bytes;
+    best = std::max(best, n);
+  }
+  return best;
+}
+
+void Engine::reset_stats() {
+  for (auto& s : stats_) s = RankStats{};
+}
+
+Task<> Engine::sync_reset(Context& ctx, bool clear_stats) {
+  co_await coll::barrier(ctx, ctx.world());
+  // The dissemination barrier guarantees every rank has entered before any
+  // rank leaves, so the first leaver resets shared (quiescent) state.
+  if (sync_arrivals_ == 0) std::fill(nic_free_.begin(), nic_free_.end(), 0.0);
+  if (++sync_arrivals_ == machine_.num_ranks()) sync_arrivals_ = 0;
+  clocks_[ctx.rank()] = 0.0;
+  if (clear_stats) stats_[ctx.rank()] = RankStats{};
+}
+
+void Engine::post_send(const Comm& comm, int src_local, int dst_local, int tag,
+                       std::span<const std::byte> payload) {
+  const int gsrc = comm.global(src_local);
+  const int gdst = comm.global(dst_local);
+  const Locality loc = machine_.classify(gsrc, gdst);
+  const std::size_t bytes = payload.size();
+
+  double& clk = clocks_[gsrc];
+  clk += model_.send_overhead();
+  const double depart = clk;
+  double arrival;
+  if (loc == Locality::network && model_.params().use_injection_cap) {
+    const int node = machine_.node_of(gsrc);
+    const double inject = std::max(depart, nic_free_[node]);
+    // Zero-byte messages (barriers, handshakes) occupy no injection
+    // bandwidth and must not extend the NIC busy window: a late-departing
+    // empty message would otherwise re-contaminate the queue across a
+    // sync_reset measurement boundary.
+    if (bytes > 0) nic_free_[node] = inject + model_.nic_occupancy(bytes);
+    arrival = inject + model_.transfer_time(loc, bytes);
+  } else {
+    arrival = depart + model_.transfer_time(loc, bytes);
+  }
+
+  const ChannelKey key{comm.id(), gsrc, gdst, tag};
+  mailbox_[key].push_back(
+      Message{std::vector<std::byte>(payload.begin(), payload.end()), arrival});
+  ++inbox_count_[gdst];
+  ++pending_messages_;
+
+  auto& ts = stats_[gsrc].tier[static_cast<int>(loc)];
+  ++ts.msgs;
+  ts.bytes += bytes;
+
+  wake(key);
+}
+
+bool Engine::has_message(const ChannelKey& key) const {
+  auto it = mailbox_.find(key);
+  return it != mailbox_.end() && !it->second.empty();
+}
+
+void Engine::park(const ChannelKey& key, std::coroutine_handle<> h) {
+  auto [it, inserted] = waiters_.emplace(key, h);
+  if (!inserted)
+    throw SimError("Engine::park: second waiter on one channel (rank issued "
+                   "overlapping receives on the same (src,tag))");
+}
+
+void Engine::wake(const ChannelKey& key) {
+  auto it = waiters_.find(key);
+  if (it != waiters_.end()) {
+    ready_.push_back(it->second);
+    waiters_.erase(it);
+  }
+}
+
+void Engine::complete_recv(Request& req) {
+  const ChannelKey key = req.key();
+  auto it = mailbox_.find(key);
+  if (it == mailbox_.end() || it->second.empty())
+    throw SimError("Engine::complete_recv: no matching message");
+  Message msg = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) mailbox_.erase(it);
+
+  const int gdst = key.dst;
+  --inbox_count_[gdst];
+  --pending_messages_;
+
+  if (req.dyn_) {
+    req.payload_ = std::move(msg.payload);
+    req.received_ = req.payload_.size();
+  } else {
+    if (msg.payload.size() > req.rbuf_.size())
+      throw SimError("Engine::complete_recv: message truncated (payload " +
+                     std::to_string(msg.payload.size()) + "B > buffer " +
+                     std::to_string(req.rbuf_.size()) + "B)");
+    if (!msg.payload.empty())
+      std::memcpy(req.rbuf_.data(), msg.payload.data(), msg.payload.size());
+    req.received_ = msg.payload.size();
+  }
+
+  double& clk = clocks_[gdst];
+  clk = std::max(clk, msg.arrival) + model_.recv_overhead(inbox_count_[gdst]);
+  req.started_ = false;
+}
+
+int Engine::next_coll_tag(const Comm& comm) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(comm.id()) << 32) |
+      static_cast<std::uint32_t>(comm.rank());
+  // Reserve a high tag range for internal collective traffic; user tags
+  // must stay below kCollTagBase.
+  constexpr int kCollTagBase = 1 << 28;
+  constexpr int kCollTagRange = 1 << 27;
+  const int seq = coll_tag_counter_[key]++;
+  return kCollTagBase + (seq % kCollTagRange);
+}
+
+int Engine::next_split_round(const Comm& comm) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(comm.id()) << 32) |
+      static_cast<std::uint32_t>(comm.rank());
+  return split_round_counter_[key]++;
+}
+
+std::shared_ptr<const CommData> Engine::get_or_create_comm(
+    std::uint32_t parent_ctx, int round, int color,
+    const std::vector<int>& members_global) {
+  if (color < 0) throw SimError("get_or_create_comm: color must be >= 0");
+  const std::uint64_t key = (static_cast<std::uint64_t>(parent_ctx) << 48) |
+                            ((static_cast<std::uint64_t>(round) & 0xFFFFFF)
+                             << 24) |
+                            (static_cast<std::uint64_t>(color) & 0xFFFFFF);
+  auto it = comm_cache_.find(key);
+  if (it != comm_cache_.end()) {
+    if (it->second->members != members_global)
+      throw SimError("get_or_create_comm: member mismatch across ranks");
+    return it->second;
+  }
+  auto data = std::make_shared<CommData>();
+  data->ctx_id = next_ctx_id_++;
+  data->members = members_global;
+  comm_cache_.emplace(key, data);
+  return data;
+}
+
+}  // namespace simmpi

@@ -1,0 +1,197 @@
+#pragma once
+/// \file engine.hpp
+/// \brief The SPMD simulation engine: scheduler, mailboxes, virtual clocks.
+///
+/// The engine runs one C++20 coroutine per simulated rank, cooperatively
+/// scheduled on a single OS thread.  Data movement is real (payload bytes
+/// are copied between rank buffers), so algorithms can be verified
+/// end-to-end; *time* is virtual, advanced per message by a locality-aware
+/// cost model (see cost_model.hpp).  Scheduling is deterministic, so every
+/// simulated experiment is exactly reproducible.
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/cost_model.hpp"
+#include "simmpi/machine.hpp"
+#include "simmpi/task.hpp"
+#include "simmpi/types.hpp"
+
+namespace simmpi {
+
+class Engine;
+
+/// Per-rank execution context handed to every rank program.
+class Context {
+ public:
+  Context(Engine& eng, int rank);
+
+  /// Global (world) rank of this context.
+  int rank() const { return rank_; }
+  Engine& engine() { return *eng_; }
+  /// The world communicator, containing every rank of the machine.
+  Comm& world() { return world_; }
+  /// Current virtual time of this rank, seconds.
+  double now() const;
+  /// Model `seconds` of local computation (advances this rank's clock).
+  void compute(double seconds);
+
+  /// Awaitable completing the given started request (MPI_Wait).
+  /// Send requests complete locally; receive requests block until the
+  /// matching message has been posted.
+  auto wait(Request& req);
+  /// Complete a set of requests (MPI_Waitall).  Requests are completed in
+  /// the order given; clocks advance monotonically regardless of order.
+  Task<> wait_all(std::span<Request> reqs);
+  Task<> wait_all(std::span<Request* const> reqs);
+
+ private:
+  Engine* eng_;
+  int rank_;
+  Comm world_;
+};
+
+/// Simulation engine.  Owns topology, cost model, mailboxes and clocks.
+class Engine {
+ public:
+  /// Per-rank, per-locality-tier message statistics (sender side).
+  struct TierStats {
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
+  };
+  struct RankStats {
+    TierStats tier[kNumLocalities];
+    std::uint64_t total_msgs() const {
+      std::uint64_t n = 0;
+      for (const auto& t : tier) n += t.msgs;
+      return n;
+    }
+  };
+
+  Engine(Machine machine, CostParams params);
+
+  /// A rank program: the same function body is executed by every rank
+  /// (SPMD), distinguished through `Context::rank()`.
+  using RankProgram = std::function<Task<>(Context&)>;
+
+  /// Run `program` on every rank to completion.
+  /// Throws SimError on deadlock and rethrows the first rank exception.
+  void run(const RankProgram& program);
+
+  const Machine& machine() const { return machine_; }
+  const CostModel& model() const { return model_; }
+
+  /// Virtual clock of a rank, seconds.
+  double clock(int rank) const { return clocks_[rank]; }
+  /// Maximum clock across ranks (completion time of the last rank).
+  double max_clock() const;
+
+  const RankStats& stats(int rank) const { return stats_[rank]; }
+  /// Max over ranks of messages sent in the given tiers.
+  std::uint64_t max_msgs(std::initializer_list<Locality> tiers) const;
+  /// Max over ranks of bytes sent in the given tiers.
+  std::uint64_t max_bytes(std::initializer_list<Locality> tiers) const;
+  void reset_stats();
+
+  /// Collective clock reset: barrier-equivalent synchronization point after
+  /// which every rank's clock restarts at zero, NIC queues are drained and
+  /// (optionally) statistics cleared.  Must be called by every rank.
+  Task<> sync_reset(Context& ctx, bool clear_stats = true);
+
+  // --- internal API used by Comm/Request/collectives -----------------
+
+  /// Post a message; advances the sender clock and computes arrival time.
+  void post_send(const Comm& comm, int src_local, int dst_local, int tag,
+                 std::span<const std::byte> payload);
+  bool has_message(const ChannelKey& key) const;
+  /// Park the current coroutine until a message for `key` is posted.
+  void park(const ChannelKey& key, std::coroutine_handle<> h);
+  /// Take the front message of a channel and charge receive overheads.
+  void complete_recv(Request& req);
+  /// Next internal (collective) tag for this (comm, rank); identical call
+  /// sequences on all ranks of a communicator yield matching tags.
+  int next_coll_tag(const Comm& comm);
+  /// Deterministically get-or-create a sub-communicator.  All members must
+  /// call with the same (parent, round, color, members) tuple.
+  std::shared_ptr<const CommData> get_or_create_comm(
+      std::uint32_t parent_ctx, int round, int color,
+      const std::vector<int>& members_global);
+  /// Per-(comm,rank) counter of communicator-creating calls.
+  int next_split_round(const Comm& comm);
+  std::shared_ptr<const CommData> world_data() const { return world_data_; }
+
+  double& clock_ref(int rank) { return clocks_[rank]; }
+
+ private:
+  void wake(const ChannelKey& key);
+  void check_quiescent() const;
+
+  Machine machine_;
+  CostModel model_;
+
+  std::vector<double> clocks_;
+  std::vector<double> nic_free_;  // per node: time the NIC becomes free
+  std::vector<RankStats> stats_;
+  std::vector<int> inbox_count_;  // pending (posted, unreceived) msgs per rank
+
+  std::unordered_map<ChannelKey, std::deque<Message>, ChannelKeyHash> mailbox_;
+  std::unordered_map<ChannelKey, std::coroutine_handle<>, ChannelKeyHash>
+      waiters_;
+  std::deque<std::coroutine_handle<>> ready_;
+  std::size_t pending_messages_ = 0;
+
+  std::shared_ptr<const CommData> world_data_;
+  std::uint32_t next_ctx_id_ = 1;
+  struct CommCacheKeyHash {
+    std::size_t operator()(const std::uint64_t& k) const noexcept {
+      return std::hash<std::uint64_t>()(k);
+    }
+  };
+  std::unordered_map<std::uint64_t, std::shared_ptr<const CommData>>
+      comm_cache_;
+  std::unordered_map<std::uint64_t, int> coll_tag_counter_;
+  std::unordered_map<std::uint64_t, int> split_round_counter_;
+
+  // sync_reset rendezvous state
+  int sync_arrivals_ = 0;
+
+  bool running_ = false;
+};
+
+// ---- inline bits ----------------------------------------------------
+
+inline double Context::now() const { return eng_->clock(rank_); }
+inline void Context::compute(double seconds) {
+  eng_->clock_ref(rank_) += seconds;
+}
+
+/// Awaiter for completing a single request.
+struct WaitAwaiter {
+  Context& ctx;
+  Request& req;
+  bool await_ready() const {
+    if (!req.started()) throw SimError("wait on inactive request");
+    if (req.is_send()) return true;
+    return ctx.engine().has_message(req.key());
+  }
+  void await_suspend(std::coroutine_handle<> h) const {
+    ctx.engine().park(req.key(), h);
+  }
+  void await_resume() const {
+    if (req.is_send()) {
+      req.started_ = false;
+      return;
+    }
+    ctx.engine().complete_recv(req);
+  }
+};
+
+inline auto Context::wait(Request& req) { return WaitAwaiter{*this, req}; }
+
+}  // namespace simmpi

@@ -1,0 +1,32 @@
+#include "simmpi/machine.hpp"
+
+namespace simmpi {
+
+Machine::Machine(MachineConfig cfg) : cfg_(cfg), num_ranks_(cfg.num_ranks()) {
+  if (cfg.num_nodes < 1 || cfg.regions_per_node < 1 || cfg.ranks_per_region < 1)
+    throw SimError("MachineConfig: all dimensions must be >= 1");
+}
+
+Machine Machine::with_region_size(int nranks, int ranks_per_region) {
+  if (nranks < 1 || ranks_per_region < 1)
+    throw SimError("Machine::with_region_size: sizes must be >= 1");
+  if (nranks <= ranks_per_region)
+    return Machine({.num_nodes = 1, .regions_per_node = 1,
+                    .ranks_per_region = nranks});
+  if (nranks % ranks_per_region != 0)
+    throw SimError(
+        "Machine::with_region_size: nranks must be a multiple of "
+        "ranks_per_region");
+  return Machine({.num_nodes = nranks / ranks_per_region,
+                  .regions_per_node = 1,
+                  .ranks_per_region = ranks_per_region});
+}
+
+Locality Machine::classify(int a, int b) const {
+  if (a == b) return Locality::self;
+  if (region_of(a) == region_of(b)) return Locality::region;
+  if (node_of(a) == node_of(b)) return Locality::node;
+  return Locality::network;
+}
+
+}  // namespace simmpi

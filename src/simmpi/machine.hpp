@@ -1,0 +1,66 @@
+#pragma once
+/// \file machine.hpp
+/// \brief Description of the simulated machine hierarchy.
+///
+/// A machine is a set of nodes; each node holds one or more NUMA *regions*
+/// (CPU sockets); each region holds a fixed number of ranks (cores).  Ranks
+/// are numbered consecutively: node-major, then region, then core — matching
+/// the block rank placement used by the paper (16 consecutive ranks share a
+/// CPU on Lassen).
+
+#include "simmpi/types.hpp"
+
+namespace simmpi {
+
+/// Shape of the simulated machine.
+struct MachineConfig {
+  int num_nodes = 1;        ///< number of nodes
+  int regions_per_node = 1; ///< NUMA regions (CPU sockets) per node
+  int ranks_per_region = 16;///< MPI ranks placed in each region
+
+  /// Ranks in the whole machine.
+  int num_ranks() const {
+    return num_nodes * regions_per_node * ranks_per_region;
+  }
+};
+
+/// Immutable topology map: rank -> (node, region, core) and locality
+/// classification between rank pairs.
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg);
+
+  /// Convenience: smallest machine with `ranks_per_region`-sized regions
+  /// (one region per node, as in the paper's Lassen runs) that holds
+  /// `nranks` ranks.  `nranks` must be a multiple of `ranks_per_region`,
+  /// except when `nranks < ranks_per_region`, in which case a single
+  /// partially-filled region is created.
+  static Machine with_region_size(int nranks, int ranks_per_region);
+
+  const MachineConfig& config() const { return cfg_; }
+  int num_ranks() const { return num_ranks_; }
+  int num_nodes() const { return cfg_.num_nodes; }
+  int num_regions() const { return cfg_.num_nodes * cfg_.regions_per_node; }
+  int ranks_per_region() const { return cfg_.ranks_per_region; }
+  int ranks_per_node() const {
+    return cfg_.regions_per_node * cfg_.ranks_per_region;
+  }
+
+  /// Node index of a rank.
+  int node_of(int rank) const { return rank / ranks_per_node(); }
+  /// Global region index of a rank.
+  int region_of(int rank) const { return rank / cfg_.ranks_per_region; }
+  /// Index of a rank within its region (0 .. ranks_per_region-1).
+  int core_of(int rank) const { return rank % cfg_.ranks_per_region; }
+  /// First (lowest) rank of a region.
+  int region_root(int region) const { return region * cfg_.ranks_per_region; }
+
+  /// Classify the locality tier of a message from `a` to `b`.
+  Locality classify(int a, int b) const;
+
+ private:
+  MachineConfig cfg_;
+  int num_ranks_;
+};
+
+}  // namespace simmpi

@@ -1,0 +1,182 @@
+#pragma once
+/// \file task.hpp
+/// \brief Minimal coroutine task type used to express SPMD rank programs.
+///
+/// Every simulated rank runs as a C++20 coroutine.  Communication primitives
+/// return awaitables; when a rank blocks (e.g. waiting for a message that has
+/// not been sent yet) control returns to the engine scheduler, which resumes
+/// another rank.  `Task<T>` supports composition: a coroutine may
+/// `co_await` another `Task<T>`, with completion propagated through
+/// continuation handles and symmetric transfer (no stack growth, no busy
+/// waiting).
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace simmpi {
+
+template <class T = void>
+class Task;
+
+namespace detail {
+
+/// Common promise functionality: continuation chaining and exception capture.
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  std::exception_ptr exception{};
+
+  /// Final awaiter: transfers control to the awaiting coroutine, if any.
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <class P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) const noexcept {
+      auto cont = h.promise().continuation;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A lazily-started coroutine returning a value of type `T`.
+///
+/// Tasks are move-only owners of their coroutine frame.  They are started
+/// either by the engine (top-level rank programs) or by being awaited from
+/// another task.
+template <class T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value{};
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    template <class U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Task() = default;
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  /// Awaiting a task starts it (symmetric transfer) and resumes the awaiter
+  /// once the task completes, yielding the task's value.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) const noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      T await_resume() {
+        if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+        return std::move(*h.promise().value);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+  /// \return the underlying coroutine handle (engine use only).
+  std::coroutine_handle<> handle() const noexcept { return h_; }
+  bool done() const noexcept { return !h_ || h_.done(); }
+
+  /// Rethrow any exception captured during execution and return the value.
+  /// Only valid after the task completed.
+  T result() {
+    if (h_.promise().exception) std::rethrow_exception(h_.promise().exception);
+    return std::move(*h_.promise().value);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> h_{};
+};
+
+/// Specialization for tasks that produce no value.
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() noexcept {}
+  };
+
+  Task() = default;
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) const noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() const {
+        if (h.promise().exception) std::rethrow_exception(h.promise().exception);
+      }
+    };
+    return Awaiter{h_};
+  }
+
+  std::coroutine_handle<> handle() const noexcept { return h_; }
+  bool done() const noexcept { return !h_ || h_.done(); }
+
+  /// Rethrow any exception captured during execution.
+  void result() const {
+    if (h_ && h_.promise().exception)
+      std::rethrow_exception(h_.promise().exception);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> h_{};
+};
+
+}  // namespace simmpi

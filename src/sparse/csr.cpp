@@ -1,0 +1,216 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sparse {
+
+Csr::Csr(int rows, int cols) : rows_(rows), cols_(cols), rowptr_(rows + 1, 0) {
+  if (rows < 0 || cols < 0) throw Error("Csr: negative dimensions");
+}
+
+Csr Csr::from_triplets(int rows, int cols, std::vector<Triplet> entries) {
+  for (const auto& t : entries)
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols)
+      throw Error("Csr::from_triplets: entry out of range");
+  std::sort(entries.begin(), entries.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  Csr m(rows, cols);
+  m.colind_.reserve(entries.size());
+  m.vals_.reserve(entries.size());
+  std::size_t i = 0;
+  for (int r = 0; r < rows; ++r) {
+    while (i < entries.size() && entries[i].row == r) {
+      double v = entries[i].val;
+      const int c = entries[i].col;
+      ++i;
+      while (i < entries.size() && entries[i].row == r && entries[i].col == c) {
+        v += entries[i].val;
+        ++i;
+      }
+      m.colind_.push_back(c);
+      m.vals_.push_back(v);
+    }
+    m.rowptr_[r + 1] = static_cast<long>(m.colind_.size());
+  }
+  return m;
+}
+
+Csr Csr::identity(int n) {
+  Csr m(n, n);
+  m.colind_.resize(n);
+  m.vals_.assign(n, 1.0);
+  std::iota(m.colind_.begin(), m.colind_.end(), 0);
+  for (int r = 0; r <= n; ++r) m.rowptr_[r] = r;
+  return m;
+}
+
+Csr Csr::from_raw(int rows, int cols, std::vector<long> rowptr,
+                  std::vector<int> colind, std::vector<double> vals) {
+  if (static_cast<int>(rowptr.size()) != rows + 1)
+    throw Error("Csr::from_raw: rowptr size mismatch");
+  if (colind.size() != vals.size())
+    throw Error("Csr::from_raw: colind/vals size mismatch");
+  if (rowptr.front() != 0 ||
+      rowptr.back() != static_cast<long>(colind.size()))
+    throw Error("Csr::from_raw: rowptr endpoints invalid");
+  for (int r = 0; r < rows; ++r) {
+    if (rowptr[r] > rowptr[r + 1]) throw Error("Csr::from_raw: rowptr dips");
+    for (long k = rowptr[r]; k < rowptr[r + 1]; ++k) {
+      if (colind[k] < 0 || colind[k] >= cols)
+        throw Error("Csr::from_raw: column out of range");
+      if (k > rowptr[r] && colind[k] <= colind[k - 1])
+        throw Error("Csr::from_raw: columns not strictly ascending");
+    }
+  }
+  Csr m(rows, cols);
+  m.rowptr_ = std::move(rowptr);
+  m.colind_ = std::move(colind);
+  m.vals_ = std::move(vals);
+  return m;
+}
+
+void Csr::spmv(std::span<const double> x, std::span<double> y) const {
+  if (static_cast<int>(x.size()) != cols_ ||
+      static_cast<int>(y.size()) != rows_)
+    throw Error("Csr::spmv: dimension mismatch");
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (long k = rowptr_[r]; k < rowptr_[r + 1]; ++k)
+      acc += vals_[k] * x[colind_[k]];
+    y[r] = acc;
+  }
+}
+
+void Csr::spmv_add(std::span<const double> x, std::span<double> y) const {
+  if (static_cast<int>(x.size()) != cols_ ||
+      static_cast<int>(y.size()) != rows_)
+    throw Error("Csr::spmv_add: dimension mismatch");
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (long k = rowptr_[r]; k < rowptr_[r + 1]; ++k)
+      acc += vals_[k] * x[colind_[k]];
+    y[r] += acc;
+  }
+}
+
+double Csr::at(int r, int c) const {
+  auto cols = row_cols(r);
+  auto it = std::lower_bound(cols.begin(), cols.end(), c);
+  if (it == cols.end() || *it != c) return 0.0;
+  return vals_[rowptr_[r] + (it - cols.begin())];
+}
+
+std::vector<double> Csr::diagonal() const {
+  std::vector<double> d(rows_, 0.0);
+  for (int r = 0; r < std::min(rows_, cols_); ++r) d[r] = at(r, r);
+  return d;
+}
+
+Csr Csr::transpose() const {
+  Csr t(cols_, rows_);
+  std::vector<long> count(cols_ + 1, 0);
+  for (int c : colind_) ++count[c + 1];
+  for (int c = 0; c < cols_; ++c) count[c + 1] += count[c];
+  t.rowptr_ = count;
+  t.colind_.resize(colind_.size());
+  t.vals_.resize(vals_.size());
+  std::vector<long> next(t.rowptr_.begin(), t.rowptr_.end() - 1);
+  for (int r = 0; r < rows_; ++r) {
+    for (long k = rowptr_[r]; k < rowptr_[r + 1]; ++k) {
+      const long pos = next[colind_[k]]++;
+      t.colind_[pos] = r;
+      t.vals_[pos] = vals_[k];
+    }
+  }
+  return t;  // columns ascend because source rows were scanned in order
+}
+
+Csr Csr::multiply(const Csr& B) const {
+  if (cols_ != B.rows_) throw Error("Csr::multiply: dimension mismatch");
+  Csr C(rows_, B.cols_);
+  std::vector<double> acc(B.cols_, 0.0);
+  std::vector<int> marker(B.cols_, -1);
+  std::vector<int> touched;
+  for (int r = 0; r < rows_; ++r) {
+    touched.clear();
+    for (long ka = rowptr_[r]; ka < rowptr_[r + 1]; ++ka) {
+      const int j = colind_[ka];
+      const double av = vals_[ka];
+      for (long kb = B.rowptr_[j]; kb < B.rowptr_[j + 1]; ++kb) {
+        const int c = B.colind_[kb];
+        if (marker[c] != r) {
+          marker[c] = r;
+          acc[c] = 0.0;
+          touched.push_back(c);
+        }
+        acc[c] += av * B.vals_[kb];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (int c : touched) {
+      C.colind_.push_back(c);
+      C.vals_.push_back(acc[c]);
+    }
+    C.rowptr_[r + 1] = static_cast<long>(C.colind_.size());
+  }
+  return C;
+}
+
+Csr Csr::select_rows(std::span<const int> rows) const {
+  Csr out(static_cast<int>(rows.size()), cols_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const int r = rows[i];
+    if (r < 0 || r >= rows_) throw Error("Csr::select_rows: row out of range");
+    for (long k = rowptr_[r]; k < rowptr_[r + 1]; ++k) {
+      out.colind_.push_back(colind_[k]);
+      out.vals_.push_back(vals_[k]);
+    }
+    out.rowptr_[i + 1] = static_cast<long>(out.colind_.size());
+  }
+  return out;
+}
+
+Csr Csr::permuted(std::span<const int> row_perm,
+                  std::span<const int> col_perm) const {
+  if (static_cast<int>(row_perm.size()) != rows_ ||
+      static_cast<int>(col_perm.size()) != cols_)
+    throw Error("Csr::permuted: permutation size mismatch");
+  std::vector<Triplet> tr;
+  tr.reserve(colind_.size());
+  for (int r = 0; r < rows_; ++r)
+    for (long k = rowptr_[r]; k < rowptr_[r + 1]; ++k)
+      tr.push_back(Triplet{row_perm[r], col_perm[colind_[k]], vals_[k]});
+  return from_triplets(rows_, cols_, std::move(tr));
+}
+
+Csr Csr::pruned(double tol) const {
+  Csr out(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (long k = rowptr_[r]; k < rowptr_[r + 1]; ++k) {
+      if (colind_[k] == r || std::abs(vals_[k]) > tol) {
+        out.colind_.push_back(colind_[k]);
+        out.vals_.push_back(vals_[k]);
+      }
+    }
+    out.rowptr_[r + 1] = static_cast<long>(out.colind_.size());
+  }
+  return out;
+}
+
+Csr galerkin_product(const Csr& R, const Csr& A, const Csr& P) {
+  return R.multiply(A.multiply(P));
+}
+
+std::vector<double> dense_spmv(const Csr& A, std::span<const double> x) {
+  std::vector<double> y(A.rows(), 0.0);
+  for (int r = 0; r < A.rows(); ++r)
+    for (long k = A.rowptr()[r]; k < A.rowptr()[r + 1]; ++k)
+      y[r] += A.values()[k] * x[A.colind()[k]];
+  return y;
+}
+
+}  // namespace sparse

@@ -1,0 +1,98 @@
+#pragma once
+/// \file csr.hpp
+/// \brief Sequential compressed-sparse-row matrices and kernels.
+///
+/// The CSR type underlies both the global problem matrices and the per-rank
+/// diag/offd blocks of the distributed ParCSR format.  Kernels: SpMV,
+/// transpose, sparse matrix-matrix multiply (SpGEMM) and the Galerkin triple
+/// product needed by algebraic multigrid.
+
+#include <span>
+#include <vector>
+
+#include "simmpi/types.hpp"  // for SimError reuse
+
+namespace sparse {
+
+using Error = simmpi::SimError;
+
+/// Coordinate-format entry used for matrix assembly.
+struct Triplet {
+  int row;
+  int col;
+  double val;
+};
+
+/// A compressed-sparse-row matrix with int indices and double values.
+/// Rows are stored with strictly ascending column indices.
+class Csr {
+ public:
+  Csr() = default;
+  /// Construct an empty (all-zero) rows x cols matrix.
+  Csr(int rows, int cols);
+  /// Assemble from triplets; duplicate (row, col) entries are summed.
+  static Csr from_triplets(int rows, int cols, std::vector<Triplet> entries);
+  /// Identity matrix.
+  static Csr identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  long nnz() const { return static_cast<long>(colind_.size()); }
+
+  std::span<const long> rowptr() const { return rowptr_; }
+  std::span<const int> colind() const { return colind_; }
+  std::span<const double> values() const { return vals_; }
+  std::span<double> values() { return vals_; }
+
+  /// Iterate one row: colind/vals slices.
+  std::span<const int> row_cols(int r) const {
+    return std::span<const int>(colind_).subspan(rowptr_[r],
+                                                 rowptr_[r + 1] - rowptr_[r]);
+  }
+  std::span<const double> row_vals(int r) const {
+    return std::span<const double>(vals_).subspan(rowptr_[r],
+                                                  rowptr_[r + 1] - rowptr_[r]);
+  }
+
+  /// y = A * x
+  void spmv(std::span<const double> x, std::span<double> y) const;
+  /// y += A * x
+  void spmv_add(std::span<const double> x, std::span<double> y) const;
+  /// Entry lookup (binary search); 0 if not stored.
+  double at(int r, int c) const;
+  /// Diagonal entries (0 where the diagonal is not stored).
+  std::vector<double> diagonal() const;
+  /// A^T
+  Csr transpose() const;
+  /// this * B
+  Csr multiply(const Csr& B) const;
+  /// Select a subset of rows (new row i = rows[i]); columns unchanged.
+  Csr select_rows(std::span<const int> rows) const;
+  /// Symmetric permutation helper: B[perm[i]][perm_col[j]] = A[i][j].
+  /// `row_perm` maps old row -> new row; `col_perm` maps old col -> new col.
+  Csr permuted(std::span<const int> row_perm,
+               std::span<const int> col_perm) const;
+  /// Drop entries with |value| <= tol (never the diagonal).
+  Csr pruned(double tol) const;
+
+  /// Build directly from raw arrays (validated).
+  static Csr from_raw(int rows, int cols, std::vector<long> rowptr,
+                      std::vector<int> colind, std::vector<double> vals);
+
+  bool operator==(const Csr& o) const = default;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<long> rowptr_{0};
+  std::vector<int> colind_{};
+  std::vector<double> vals_{};
+};
+
+/// Galerkin coarse operator: R * A * P (with R typically = P^T).
+Csr galerkin_product(const Csr& R, const Csr& A, const Csr& P);
+
+/// Dense reference SpMV used by property tests.
+std::vector<double> dense_spmv(const Csr& A, std::span<const double> x);
+
+}  // namespace sparse

@@ -1,0 +1,157 @@
+#include "sparse/par_csr.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace sparse {
+
+ParCsr ParCsr::distribute(const Csr& A, std::vector<long> row_part,
+                          std::vector<long> col_part) {
+  if (row_part.size() != col_part.size())
+    throw Error("ParCsr::distribute: partition size mismatch");
+  if (row_part.back() != A.rows() || col_part.back() != A.cols())
+    throw Error("ParCsr::distribute: partition does not cover matrix");
+  const int p = static_cast<int>(row_part.size()) - 1;
+
+  ParCsr out;
+  out.global_rows = A.rows();
+  out.global_cols = A.cols();
+  out.row_part = std::move(row_part);
+  out.col_part = std::move(col_part);
+  out.ranks.resize(p);
+
+  for (int r = 0; r < p; ++r) {
+    ParCsrRank& slice = out.ranks[r];
+    slice.first_row = out.row_part[r];
+    slice.first_col = out.col_part[r];
+    const long r0 = out.row_part[r];
+    const long r1 = out.row_part[r + 1];
+    const long c0 = out.col_part[r];
+    const long c1 = out.col_part[r + 1];
+    const int nrows = static_cast<int>(r1 - r0);
+    const int ncols = static_cast<int>(c1 - c0);
+
+    // Collect the offd column footprint (global ids), sorted ascending.
+    std::vector<long> offd_cols;
+    for (long row = r0; row < r1; ++row)
+      for (int c : A.row_cols(static_cast<int>(row)))
+        if (c < c0 || c >= c1) offd_cols.push_back(c);
+    std::sort(offd_cols.begin(), offd_cols.end());
+    offd_cols.erase(std::unique(offd_cols.begin(), offd_cols.end()),
+                    offd_cols.end());
+    slice.col_map_offd = offd_cols;
+    std::map<long, int> offd_index;
+    for (std::size_t i = 0; i < offd_cols.size(); ++i)
+      offd_index[offd_cols[i]] = static_cast<int>(i);
+
+    std::vector<Triplet> diag_tr, offd_tr;
+    for (long row = r0; row < r1; ++row) {
+      const int lr = static_cast<int>(row - r0);
+      auto cols = A.row_cols(static_cast<int>(row));
+      auto vals = A.row_vals(static_cast<int>(row));
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] >= c0 && cols[k] < c1)
+          diag_tr.push_back(Triplet{lr, static_cast<int>(cols[k] - c0),
+                                    vals[k]});
+        else
+          offd_tr.push_back(Triplet{lr, offd_index.at(cols[k]), vals[k]});
+      }
+    }
+    slice.diag = Csr::from_triplets(nrows, ncols, std::move(diag_tr));
+    slice.offd = Csr::from_triplets(
+        nrows, static_cast<int>(offd_cols.size()), std::move(offd_tr));
+  }
+  return out;
+}
+
+Csr ParCsr::gather() const {
+  std::vector<Triplet> tr;
+  for (int r = 0; r < num_ranks(); ++r) {
+    const ParCsrRank& slice = ranks[r];
+    for (int lr = 0; lr < slice.local_rows(); ++lr) {
+      const int grow = static_cast<int>(slice.first_row + lr);
+      auto dc = slice.diag.row_cols(lr);
+      auto dv = slice.diag.row_vals(lr);
+      for (std::size_t k = 0; k < dc.size(); ++k)
+        tr.push_back(Triplet{grow, static_cast<int>(slice.first_col + dc[k]),
+                             dv[k]});
+      auto oc = slice.offd.row_cols(lr);
+      auto ov = slice.offd.row_vals(lr);
+      for (std::size_t k = 0; k < oc.size(); ++k)
+        tr.push_back(Triplet{
+            grow, static_cast<int>(slice.col_map_offd[oc[k]]), ov[k]});
+    }
+  }
+  return Csr::from_triplets(static_cast<int>(global_rows),
+                            static_cast<int>(global_cols), std::move(tr));
+}
+
+Halo Halo::build(const ParCsr& A) {
+  const int p = A.num_ranks();
+  Halo h;
+  h.ranks.resize(p);
+
+  // Receive side, straight from each rank's offd footprint.
+  for (int q = 0; q < p; ++q) {
+    RankHalo& hq = h.ranks[q];
+    hq.recv_gids = A.ranks[q].col_map_offd;
+    int cur_owner = -1;
+    for (long gid : hq.recv_gids) {
+      const int owner = owner_of(A.col_part, gid);
+      if (owner == q)
+        throw Error("Halo::build: offd column owned by the local rank");
+      if (owner != cur_owner) {
+        hq.recv_ranks.push_back(owner);
+        hq.recv_counts.push_back(0);
+        cur_owner = owner;
+      }
+      ++hq.recv_counts.back();
+    }
+  }
+  // Send side: invert.  Iterating receivers in ascending rank order keeps
+  // send lists sorted by (destination, global id).
+  for (int q = 0; q < p; ++q) {
+    const RankHalo& hq = h.ranks[q];
+    long pos = 0;
+    for (std::size_t i = 0; i < hq.recv_ranks.size(); ++i) {
+      const int s = hq.recv_ranks[i];
+      RankHalo& hs = h.ranks[s];
+      if (hs.send_ranks.empty() || hs.send_ranks.back() != q) {
+        hs.send_ranks.push_back(q);
+        hs.send_counts.push_back(0);
+      }
+      for (int k = 0; k < hq.recv_counts[i]; ++k) {
+        const long gid = hq.recv_gids[pos++];
+        hs.send_idx.push_back(static_cast<int>(gid - A.col_part[s]));
+        hs.send_gids.push_back(gid);
+        ++hs.send_counts.back();
+      }
+    }
+  }
+  return h;
+}
+
+void spmv_local(const ParCsrRank& a, std::span<const double> x_local,
+                std::span<const double> x_ext, std::span<double> y) {
+  a.diag.spmv(x_local, y);
+  a.offd.spmv_add(x_ext, y);
+}
+
+std::vector<std::vector<double>> split_vector(std::span<const double> x,
+                                              std::span<const long> part) {
+  if (static_cast<long>(x.size()) != part.back())
+    throw Error("split_vector: size mismatch");
+  std::vector<std::vector<double>> out(part.size() - 1);
+  for (std::size_t r = 0; r + 1 < part.size(); ++r)
+    out[r].assign(x.begin() + part[r], x.begin() + part[r + 1]);
+  return out;
+}
+
+std::vector<double> join_vector(
+    const std::vector<std::vector<double>>& chunks) {
+  std::vector<double> out;
+  for (const auto& c : chunks) out.insert(out.end(), c.begin(), c.end());
+  return out;
+}
+
+}  // namespace sparse

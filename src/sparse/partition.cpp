@@ -1,0 +1,33 @@
+#include "sparse/partition.hpp"
+
+#include <algorithm>
+
+namespace sparse {
+
+std::vector<long> block_partition(long n, int p) {
+  if (n < 0 || p < 1) throw Error("block_partition: invalid arguments");
+  std::vector<long> part(p + 1, 0);
+  const long base = n / p;
+  const long extra = n % p;
+  for (int r = 0; r < p; ++r)
+    part[r + 1] = part[r] + base + (r < extra ? 1 : 0);
+  return part;
+}
+
+std::vector<long> partition_from_counts(std::span<const int> counts) {
+  std::vector<long> part(counts.size() + 1, 0);
+  for (std::size_t r = 0; r < counts.size(); ++r) {
+    if (counts[r] < 0) throw Error("partition_from_counts: negative count");
+    part[r + 1] = part[r] + counts[r];
+  }
+  return part;
+}
+
+int owner_of(std::span<const long> part, long gid) {
+  if (gid < 0 || gid >= part.back())
+    throw Error("owner_of: global index out of range");
+  auto it = std::upper_bound(part.begin(), part.end(), gid);
+  return static_cast<int>(it - part.begin()) - 1;
+}
+
+}  // namespace sparse

@@ -1,0 +1,28 @@
+#pragma once
+/// \file partition.hpp
+/// \brief Contiguous block row partitions (Hypre-style).
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace sparse {
+
+/// Block partition of n rows over p ranks: returns offsets of size p+1 with
+/// rank r owning rows [part[r], part[r+1]).  Remainder rows go to the
+/// lowest ranks, as in Hypre.
+std::vector<long> block_partition(long n, int p);
+
+/// Partition from explicit per-rank counts.
+std::vector<long> partition_from_counts(std::span<const int> counts);
+
+/// Owner rank of a global row (binary search).
+int owner_of(std::span<const long> part, long gid);
+
+/// Number of rows owned by rank r.
+inline long local_size(std::span<const long> part, int r) {
+  return part[r + 1] - part[r];
+}
+
+}  // namespace sparse

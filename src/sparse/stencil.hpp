@@ -1,0 +1,48 @@
+#pragma once
+/// \file stencil.hpp
+/// \brief Structured-grid problem generators.
+///
+/// The paper's evaluation problem is a 7-point rotated anisotropic diffusion
+/// system (rotation 45 degrees, anisotropy 0.001), i.e. the operator
+///   -div( Q(theta) diag(1, eps) Q(theta)^T  grad u )
+/// discretized with the classical 7-point stencil on a regular 2D grid with
+/// Dirichlet boundaries (the `rotate-7pt` problem of Hypre's ij driver).
+/// Additional generators (5-point / 9-point Laplacian, 3D 27-point) feed the
+/// test suite and the extra examples.
+
+#include "sparse/csr.hpp"
+
+namespace sparse {
+
+/// Grid row index: x fastest, i.e. idx = y * nx + x (row-major by y).
+inline int grid_index(int nx, int x, int y) { return y * nx + x; }
+
+/// 2D 5-point Laplacian on an nx x ny grid, Dirichlet boundary.
+Csr laplacian_5pt(int nx, int ny);
+
+/// 2D 9-point Laplacian on an nx x ny grid, Dirichlet boundary.
+Csr laplacian_9pt(int nx, int ny);
+
+/// 3D 27-point Laplacian on an nx x ny x nz grid, Dirichlet boundary.
+Csr laplacian_27pt(int nx, int ny, int nz);
+
+/// 7-point rotated anisotropic diffusion (theta in radians, eps anisotropy).
+///
+/// Interior stencil (scaled by 1/h^2, h cancels for our purposes):
+///   C:      2 cx + 2 cy - cxy
+///   E, W:  -cx + cxy/2
+///   N, S:  -cy + cxy/2
+///   NE, SW:-cxy/2
+/// with cx = cos^2 + eps sin^2, cy = sin^2 + eps cos^2,
+/// cxy = 2 (1 - eps) cos sin.  Interior row sums are zero; Dirichlet
+/// boundaries drop outside neighbors.
+Csr rotated_aniso_7pt(int nx, int ny, double theta, double eps);
+
+/// The paper's exact configuration: theta = 45 degrees, eps = 0.001.
+Csr paper_problem(int nx, int ny);
+
+/// Factor `n` into nx x ny with nx the largest power of two <= sqrt(n)
+/// (n must factor accordingly); used to size weak-scaling grids.
+void factor_grid(long n, int& nx, int& ny);
+
+}  // namespace sparse

@@ -1,0 +1,114 @@
+#pragma once
+/// \file pattern_util.hpp
+/// \brief Shared test helper: random irregular communication patterns with
+/// globally consistent send/recv argument construction.
+
+#include <map>
+#include <random>
+#include <vector>
+
+#include "mpix/neighbor.hpp"
+
+namespace pattern {
+
+/// Deterministic value of a logical datum at a given iteration.  Equal gids
+/// always produce equal values (the dedup precondition).
+inline double value_of(mpix::gidx gid, int iter) {
+  return 0.25 * static_cast<double>(gid) + 1000.0 * iter + 1.0;
+}
+
+/// A global view of an irregular pattern: sends[src][dst] = value-id list.
+struct GlobalPattern {
+  int nranks = 0;
+  std::vector<std::map<int, std::vector<mpix::gidx>>> sends;
+
+  /// Sorted source ranks of a destination.
+  std::vector<int> sources_of(int dst) const {
+    std::vector<int> s;
+    for (int src = 0; src < nranks; ++src)
+      if (sends[src].count(dst)) s.push_back(src);
+    return s;
+  }
+};
+
+/// Random pattern: each rank sends to a few (possibly zero) peers, each
+/// segment 1-4 values drawn from a small per-source pool so the same value
+/// is frequently bound for several destinations (exercising dedup).
+inline GlobalPattern random_pattern(int nranks, unsigned seed,
+                                    int value_pool = 3, int max_degree = 6,
+                                    bool allow_self = true) {
+  std::mt19937 rng(seed);
+  GlobalPattern p;
+  p.nranks = nranks;
+  p.sends.resize(nranks);
+  std::uniform_int_distribution<int> deg(0, std::min(nranks, max_degree));
+  std::uniform_int_distribution<int> cnt(1, 4);
+  std::uniform_int_distribution<int> pick(0, nranks - 1);
+  std::uniform_int_distribution<int> pool(0, value_pool - 1);
+  for (int src = 0; src < nranks; ++src) {
+    const int ndst = deg(rng);
+    for (int t = 0; t < ndst; ++t) {
+      int dst = pick(rng);
+      if (!allow_self && dst == src) dst = (dst + 1) % nranks;
+      auto& seg = p.sends[src][dst];
+      if (!seg.empty()) continue;  // already chosen this dst
+      const int c = cnt(rng);
+      for (int k = 0; k < c; ++k)
+        seg.push_back(static_cast<mpix::gidx>(src) * 100 + pool(rng));
+    }
+  }
+  return p;
+}
+
+/// Per-rank argument bundle with owning storage.
+struct RankArgs {
+  std::vector<int> destinations, sources;
+  std::vector<int> sendcounts, sdispls, recvcounts, rdispls;
+  std::vector<double> sendbuf, recvbuf, expected;
+  std::vector<mpix::gidx> send_idx, recv_idx;
+
+  mpix::AlltoallvArgs view() {
+    return mpix::AlltoallvArgs{
+        .sendbuf = sendbuf,
+        .sendcounts = sendcounts,
+        .sdispls = sdispls,
+        .recvbuf = recvbuf,
+        .recvcounts = recvcounts,
+        .rdispls = rdispls,
+        .send_idx = send_idx,
+        .recv_idx = recv_idx,
+    };
+  }
+
+  /// Refresh sendbuf and the expected recvbuf for an iteration number.
+  void fill(int iter) {
+    for (std::size_t k = 0; k < sendbuf.size(); ++k)
+      sendbuf[k] = value_of(send_idx[k], iter);
+    for (std::size_t k = 0; k < expected.size(); ++k)
+      expected[k] = value_of(recv_idx[k], iter);
+  }
+};
+
+/// Build rank r's arguments from the global pattern.
+inline RankArgs rank_args(const GlobalPattern& p, int r) {
+  RankArgs a;
+  for (const auto& [dst, gids] : p.sends[r]) {
+    a.destinations.push_back(dst);
+    a.sdispls.push_back(static_cast<int>(a.send_idx.size()));
+    a.sendcounts.push_back(static_cast<int>(gids.size()));
+    for (auto g : gids) a.send_idx.push_back(g);
+  }
+  a.sendbuf.resize(a.send_idx.size());
+  for (int src : p.sources_of(r)) {
+    const auto& gids = p.sends[src].at(r);
+    a.sources.push_back(src);
+    a.rdispls.push_back(static_cast<int>(a.recv_idx.size()));
+    a.recvcounts.push_back(static_cast<int>(gids.size()));
+    for (auto g : gids) a.recv_idx.push_back(g);
+  }
+  a.recvbuf.assign(a.recv_idx.size(), 0.0);
+  a.expected.resize(a.recv_idx.size());
+  return a;
+}
+
+}  // namespace pattern

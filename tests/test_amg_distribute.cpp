@@ -1,0 +1,153 @@
+/// \file test_amg_distribute.cpp
+/// \brief Ownership-aware hierarchy distribution invariants.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "amg/distribute.hpp"
+#include "sparse/stencil.hpp"
+
+using namespace amg;
+using sparse::Csr;
+
+namespace {
+Hierarchy paper_hierarchy(int nx, int ny) {
+  return Hierarchy::build(sparse::paper_problem(nx, ny));
+}
+}  // namespace
+
+TEST(Distribute, LevelZeroIsBlockPartitioned) {
+  Hierarchy h = paper_hierarchy(16, 16);
+  DistHierarchy dh = distribute_hierarchy(h, 4);
+  EXPECT_EQ(dh.levels[0].A.row_part,
+            sparse::block_partition(h.levels[0].n(), 4));
+  // Identity permutation on the fine level.
+  for (int i = 0; i < h.levels[0].n(); ++i)
+    EXPECT_EQ(dh.levels[0].perm[i], i);
+}
+
+TEST(Distribute, PermutationsAreBijections) {
+  Hierarchy h = paper_hierarchy(16, 16);
+  DistHierarchy dh = distribute_hierarchy(h, 8);
+  for (const auto& lvl : dh.levels) {
+    std::vector<int> seen(lvl.perm.size(), 0);
+    for (int p : lvl.perm) {
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, static_cast<int>(lvl.perm.size()));
+      ++seen[p];
+    }
+    for (int s : seen) EXPECT_EQ(s, 1);
+  }
+}
+
+TEST(Distribute, CoarseOwnersInheritedFromFine) {
+  Hierarchy h = paper_hierarchy(16, 16);
+  const int p = 4;
+  DistHierarchy dh = distribute_hierarchy(h, p);
+  for (int l = 0; l + 1 < dh.num_levels(); ++l) {
+    const auto& fine = dh.levels[l];
+    const auto& coarse = dh.levels[l + 1];
+    const auto& cpts = h.levels[l].cpoints;
+    for (std::size_t j = 0; j < cpts.size(); ++j) {
+      const int fine_dist = fine.perm[cpts[j]];
+      const int coarse_dist = coarse.perm[j];
+      EXPECT_EQ(sparse::owner_of(fine.A.row_part, fine_dist),
+                sparse::owner_of(coarse.A.row_part, coarse_dist))
+          << "level " << l << " coarse point " << j;
+    }
+  }
+}
+
+TEST(Distribute, CoarseNumberingOrderedByFineWithinRank) {
+  Hierarchy h = paper_hierarchy(16, 16);
+  DistHierarchy dh = distribute_hierarchy(h, 4);
+  for (int l = 0; l + 1 < dh.num_levels(); ++l) {
+    const auto& fine = dh.levels[l];
+    const auto& coarse = dh.levels[l + 1];
+    const auto& cpts = h.levels[l].cpoints;
+    // Sort coarse points by distributed id; their fine distributed ids must
+    // then ascend within each owner block.
+    std::vector<int> by_dist(cpts.size());
+    for (std::size_t j = 0; j < cpts.size(); ++j)
+      by_dist[coarse.perm[j]] = static_cast<int>(j);
+    int prev_owner = -1, prev_fine = -1;
+    for (std::size_t pos = 0; pos < by_dist.size(); ++pos) {
+      const int j = by_dist[pos];
+      const int fd = fine.perm[cpts[j]];
+      const int owner = sparse::owner_of(fine.A.row_part, fd);
+      if (owner == prev_owner) EXPECT_GT(fd, prev_fine);
+      else EXPECT_GT(owner, prev_owner);
+      prev_owner = owner;
+      prev_fine = fd;
+    }
+  }
+}
+
+TEST(Distribute, DistributedOperatorsMatchCanonicalUpToPermutation) {
+  Hierarchy h = paper_hierarchy(12, 12);
+  DistHierarchy dh = distribute_hierarchy(h, 3);
+  for (int l = 0; l < dh.num_levels(); ++l) {
+    Csr gathered = dh.levels[l].A.gather();
+    Csr expect = l == 0 ? h.levels[0].A
+                        : h.levels[l].A.permuted(dh.levels[l].perm,
+                                                 dh.levels[l].perm);
+    EXPECT_EQ(gathered, expect) << "level " << l;
+  }
+}
+
+TEST(Distribute, TransferOperatorsDistributedConsistently) {
+  Hierarchy h = paper_hierarchy(12, 12);
+  DistHierarchy dh = distribute_hierarchy(h, 4);
+  for (int l = 0; l + 1 < dh.num_levels(); ++l) {
+    const auto& dl = dh.levels[l];
+    ASSERT_TRUE(dl.has_coarse());
+    Csr gathered_p = dl.P.gather();
+    Csr expect_p =
+        h.levels[l].P.permuted(dl.perm, dh.levels[l + 1].perm);
+    EXPECT_EQ(gathered_p, expect_p) << "P level " << l;
+    Csr gathered_r = dl.R.gather();
+    Csr expect_r =
+        h.levels[l].R.permuted(dh.levels[l + 1].perm, dl.perm);
+    EXPECT_EQ(gathered_r, expect_r) << "R level " << l;
+  }
+}
+
+TEST(Distribute, HaloCountsShrinkOnCoarseLevels) {
+  // Coarse levels have fewer rows, so eventually some ranks own nothing and
+  // halos must stay internally consistent even then.
+  Hierarchy h = paper_hierarchy(16, 16);
+  DistHierarchy dh = distribute_hierarchy(h, 16);
+  for (const auto& lvl : dh.levels) {
+    long send = 0, recv = 0;
+    for (const auto& rh : lvl.halo.ranks) {
+      send += rh.total_send();
+      recv += rh.total_recv();
+    }
+    EXPECT_EQ(send, recv);
+  }
+}
+
+TEST(Distribute, SingleRankDegeneratesToSequential) {
+  Hierarchy h = paper_hierarchy(8, 8);
+  DistHierarchy dh = distribute_hierarchy(h, 1);
+  for (int l = 0; l < dh.num_levels(); ++l) {
+    EXPECT_EQ(dh.levels[l].A.gather(), h.levels[l].A);
+    EXPECT_TRUE(dh.levels[l].halo.ranks[0].recv_gids.empty());
+  }
+}
+
+TEST(Distribute, MoreRanksThanCoarseRows) {
+  Hierarchy h = paper_hierarchy(8, 8);
+  // 64 fine rows, coarsest level can have fewer rows than 32 ranks.
+  DistHierarchy dh = distribute_hierarchy(h, 32);
+  const auto& last = dh.levels.back();
+  long covered = 0;
+  for (const auto& slice : last.A.ranks) covered += slice.local_rows();
+  EXPECT_EQ(covered, last.n());
+}
+
+TEST(Distribute, RejectsBadRankCount) {
+  Hierarchy h = paper_hierarchy(4, 4);
+  EXPECT_THROW(distribute_hierarchy(h, 0), sparse::Error);
+}

@@ -1,0 +1,76 @@
+/// \file test_cost_model.cpp
+/// \brief Cost-model regimes, monotonicity and tier ordering.
+
+#include <gtest/gtest.h>
+
+#include "simmpi/cost_model.hpp"
+
+using simmpi::CostModel;
+using simmpi::CostParams;
+using simmpi::Locality;
+
+TEST(CostModel, RegimeSelection) {
+  CostParams p = CostParams::lassen();
+  const auto& net = p.tier[static_cast<int>(Locality::network)];
+  EXPECT_EQ(&net.regime(1), &net.short_);
+  EXPECT_EQ(&net.regime(net.short_max), &net.short_);
+  EXPECT_EQ(&net.regime(net.short_max + 1), &net.eager);
+  EXPECT_EQ(&net.regime(net.eager_max), &net.eager);
+  EXPECT_EQ(&net.regime(net.eager_max + 1), &net.rend);
+}
+
+TEST(CostModel, TransferTimeIncreasesWithBytesWithinRegime) {
+  CostModel m(CostParams::lassen());
+  for (int tier = 0; tier < simmpi::kNumLocalities; ++tier) {
+    auto loc = static_cast<Locality>(tier);
+    EXPECT_LT(m.transfer_time(loc, 8), m.transfer_time(loc, 256));
+    EXPECT_LT(m.transfer_time(loc, 1024), m.transfer_time(loc, 8000));
+    EXPECT_LT(m.transfer_time(loc, 10000), m.transfer_time(loc, 1000000));
+  }
+}
+
+TEST(CostModel, LatencyOrderingMatchesHierarchy) {
+  // Small messages: self < region < node < network latency (the premise of
+  // locality-aware aggregation for message-count-bound patterns).
+  CostModel m(CostParams::lassen());
+  const std::size_t b = 64;
+  EXPECT_LT(m.transfer_time(Locality::self, b),
+            m.transfer_time(Locality::region, b));
+  EXPECT_LT(m.transfer_time(Locality::region, b),
+            m.transfer_time(Locality::node, b));
+  EXPECT_LT(m.transfer_time(Locality::node, b),
+            m.transfer_time(Locality::network, b));
+}
+
+TEST(CostModel, LargeMessagesCrossNumaCostsMoreThanNetwork) {
+  // Published Lassen behaviour: inter-CPU (node tier) large transfers are
+  // more expensive than inter-node ones.
+  CostModel m(CostParams::lassen());
+  const std::size_t b = 1 << 20;
+  EXPECT_GT(m.transfer_time(Locality::node, b),
+            m.transfer_time(Locality::network, b));
+}
+
+TEST(CostModel, NicOccupancyOnlyWithInjectionCap) {
+  CostParams p = CostParams::lassen();
+  p.use_injection_cap = true;
+  EXPECT_GT(CostModel(p).nic_occupancy(1 << 20), 0.0);
+  p.use_injection_cap = false;
+  EXPECT_EQ(CostModel(p).nic_occupancy(1 << 20), 0.0);
+}
+
+TEST(CostModel, RecvOverheadGrowsWithQueueDepth) {
+  CostModel m(CostParams::lassen());
+  EXPECT_LT(m.recv_overhead(0), m.recv_overhead(10));
+  EXPECT_DOUBLE_EQ(m.recv_overhead(10) - m.recv_overhead(0),
+                   10 * m.params().queue_search);
+}
+
+TEST(CostModel, FlatModelIsLocalityBlind) {
+  CostModel m(CostParams::flat());
+  const std::size_t b = 4096;
+  EXPECT_DOUBLE_EQ(m.transfer_time(Locality::self, b),
+                   m.transfer_time(Locality::network, b));
+  EXPECT_DOUBLE_EQ(m.transfer_time(Locality::region, b),
+                   m.transfer_time(Locality::node, b));
+}

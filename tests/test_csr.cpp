@@ -1,0 +1,231 @@
+/// \file test_csr.cpp
+/// \brief CSR construction and kernels, checked against dense references.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sparse/csr.hpp"
+
+using namespace sparse;
+
+namespace {
+
+/// Random sparse matrix with ~`density` fill, deterministic by seed.
+Csr random_csr(int rows, int cols, double density, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> val(-2.0, 2.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::vector<Triplet> tr;
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      if (coin(rng) < density) tr.push_back({r, c, val(rng)});
+  return Csr::from_triplets(rows, cols, std::move(tr));
+}
+
+std::vector<std::vector<double>> to_dense(const Csr& a) {
+  std::vector<std::vector<double>> d(a.rows(),
+                                     std::vector<double>(a.cols(), 0.0));
+  for (int r = 0; r < a.rows(); ++r) {
+    auto c = a.row_cols(r);
+    auto v = a.row_vals(r);
+    for (std::size_t k = 0; k < c.size(); ++k) d[r][c[k]] = v[k];
+  }
+  return d;
+}
+
+}  // namespace
+
+TEST(Csr, FromTripletsSumsDuplicatesAndSorts) {
+  Csr a = Csr::from_triplets(2, 3, {{0, 2, 1.0}, {0, 0, 2.0}, {0, 2, 0.5},
+                                    {1, 1, -1.0}});
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 1.5);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 0.0);
+  // columns strictly ascending within each row
+  for (int r = 0; r < a.rows(); ++r) {
+    auto c = a.row_cols(r);
+    for (std::size_t k = 1; k < c.size(); ++k) EXPECT_LT(c[k - 1], c[k]);
+  }
+}
+
+TEST(Csr, FromTripletsRejectsOutOfRange) {
+  EXPECT_THROW(Csr::from_triplets(2, 2, {{2, 0, 1.0}}), Error);
+  EXPECT_THROW(Csr::from_triplets(2, 2, {{0, -1, 1.0}}), Error);
+}
+
+TEST(Csr, FromRawValidates) {
+  EXPECT_NO_THROW(Csr::from_raw(2, 2, {0, 1, 2}, {0, 1}, {1.0, 2.0}));
+  EXPECT_THROW(Csr::from_raw(2, 2, {0, 2, 1}, {0, 1}, {1.0, 2.0}), Error);
+  EXPECT_THROW(Csr::from_raw(2, 2, {0, 2, 2}, {1, 0}, {1.0, 2.0}), Error);
+  EXPECT_THROW(Csr::from_raw(2, 2, {0, 1, 2}, {0, 5}, {1.0, 2.0}), Error);
+}
+
+TEST(Csr, IdentitySpmvIsIdentity) {
+  Csr i = Csr::identity(5);
+  std::vector<double> x{1, 2, 3, 4, 5}, y(5);
+  i.spmv(x, y);
+  EXPECT_EQ(x, y);
+}
+
+TEST(Csr, SpmvMatchesDenseReference) {
+  for (unsigned seed : {1u, 2u, 3u}) {
+    Csr a = random_csr(17, 23, 0.2, seed);
+    std::mt19937 rng(seed + 100);
+    std::uniform_real_distribution<double> d(-1, 1);
+    std::vector<double> x(23);
+    for (auto& v : x) v = d(rng);
+    std::vector<double> y(17);
+    a.spmv(x, y);
+    auto ref = dense_spmv(a, x);
+    for (int r = 0; r < 17; ++r) EXPECT_NEAR(y[r], ref[r], 1e-12);
+  }
+}
+
+TEST(Csr, SpmvAddAccumulates) {
+  Csr a = random_csr(5, 5, 0.5, 42);
+  std::vector<double> x{1, -1, 2, 0.5, 3};
+  std::vector<double> y(5, 10.0);
+  a.spmv_add(x, y);
+  auto ref = dense_spmv(a, x);
+  for (int r = 0; r < 5; ++r) EXPECT_NEAR(y[r], 10.0 + ref[r], 1e-12);
+}
+
+TEST(Csr, SpmvRejectsWrongSizes) {
+  Csr a(3, 4);
+  std::vector<double> x(3), y(3);
+  EXPECT_THROW(a.spmv(x, y), Error);
+}
+
+TEST(Csr, TransposeInvolution) {
+  Csr a = random_csr(13, 9, 0.3, 7);
+  EXPECT_EQ(a.transpose().transpose(), a);
+}
+
+TEST(Csr, TransposeMatchesDense) {
+  Csr a = random_csr(8, 6, 0.4, 11);
+  Csr t = a.transpose();
+  auto da = to_dense(a);
+  auto dt = to_dense(t);
+  for (int r = 0; r < 8; ++r)
+    for (int c = 0; c < 6; ++c) EXPECT_DOUBLE_EQ(da[r][c], dt[c][r]);
+}
+
+TEST(Csr, MultiplyMatchesDense) {
+  for (unsigned seed : {5u, 6u}) {
+    Csr a = random_csr(7, 11, 0.3, seed);
+    Csr b = random_csr(11, 5, 0.3, seed + 50);
+    Csr c = a.multiply(b);
+    auto da = to_dense(a);
+    auto db = to_dense(b);
+    auto dc = to_dense(c);
+    for (int i = 0; i < 7; ++i)
+      for (int j = 0; j < 5; ++j) {
+        double ref = 0;
+        for (int k = 0; k < 11; ++k) ref += da[i][k] * db[k][j];
+        EXPECT_NEAR(dc[i][j], ref, 1e-12) << i << "," << j;
+      }
+  }
+}
+
+TEST(Csr, MultiplyDimensionCheck) {
+  Csr a(3, 4), b(5, 2);
+  EXPECT_THROW(a.multiply(b), Error);
+}
+
+TEST(Csr, MultiplyByIdentityIsNoop) {
+  Csr a = random_csr(9, 9, 0.3, 3);
+  EXPECT_EQ(a.multiply(Csr::identity(9)), a);
+  EXPECT_EQ(Csr::identity(9).multiply(a), a);
+}
+
+TEST(Csr, GalerkinProductAssociativityShape) {
+  Csr a = random_csr(10, 10, 0.3, 21);
+  Csr p = random_csr(10, 4, 0.4, 22);
+  Csr r = p.transpose();
+  Csr coarse = galerkin_product(r, a, p);
+  EXPECT_EQ(coarse.rows(), 4);
+  EXPECT_EQ(coarse.cols(), 4);
+  // (P^T A) P == P^T (A P)
+  Csr left = r.multiply(a).multiply(p);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      EXPECT_NEAR(left.at(i, j), coarse.at(i, j), 1e-12);
+}
+
+TEST(Csr, SelectRowsExtractsSubmatrix) {
+  Csr a = random_csr(10, 6, 0.5, 9);
+  std::vector<int> rows{7, 2, 2};
+  Csr s = a.select_rows(rows);
+  EXPECT_EQ(s.rows(), 3);
+  for (int c = 0; c < 6; ++c) {
+    EXPECT_DOUBLE_EQ(s.at(0, c), a.at(7, c));
+    EXPECT_DOUBLE_EQ(s.at(1, c), a.at(2, c));
+    EXPECT_DOUBLE_EQ(s.at(2, c), a.at(2, c));
+  }
+}
+
+TEST(Csr, PermutedRelabelsEntries) {
+  Csr a = Csr::from_triplets(3, 3, {{0, 1, 5.0}, {2, 2, 7.0}});
+  std::vector<int> rp{2, 0, 1};  // old row r -> new row rp[r]
+  std::vector<int> cp{1, 2, 0};
+  Csr b = a.permuted(rp, cp);
+  EXPECT_DOUBLE_EQ(b.at(2, 2), 5.0);  // (0,1) -> (2,2)
+  EXPECT_DOUBLE_EQ(b.at(1, 0), 7.0);  // (2,2) -> (1,0)
+  EXPECT_EQ(b.nnz(), 2);
+}
+
+TEST(Csr, PrunedDropsSmallOffDiagonals) {
+  Csr a = Csr::from_triplets(
+      2, 2, {{0, 0, 1e-14}, {0, 1, 0.5}, {1, 0, 1e-14}, {1, 1, 2.0}});
+  Csr b = a.pruned(1e-10);
+  EXPECT_DOUBLE_EQ(b.at(0, 0), 1e-14);  // diagonal kept
+  EXPECT_DOUBLE_EQ(b.at(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(b.at(1, 0), 0.0);  // off-diagonal dropped
+  EXPECT_EQ(b.nnz(), 3);
+}
+
+TEST(Csr, DiagonalExtraction) {
+  Csr a = Csr::from_triplets(3, 3, {{0, 0, 4.0}, {1, 2, 1.0}, {2, 2, -3.0}});
+  auto d = a.diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 4.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], -3.0);
+}
+
+/// Property sweep: transpose/multiply consistency, (AB)^T == B^T A^T.
+class CsrProperty : public ::testing::TestWithParam<unsigned> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST_P(CsrProperty, TransposeOfProduct) {
+  const unsigned seed = GetParam();
+  Csr a = random_csr(6 + seed % 5, 8, 0.35, seed);
+  Csr b = random_csr(8, 5 + seed % 3, 0.35, seed + 1000);
+  Csr lhs = a.multiply(b).transpose();
+  Csr rhs = b.transpose().multiply(a.transpose());
+  EXPECT_EQ(lhs.rows(), rhs.rows());
+  EXPECT_EQ(lhs.cols(), rhs.cols());
+  for (int r = 0; r < lhs.rows(); ++r)
+    for (int c = 0; c < lhs.cols(); ++c)
+      EXPECT_NEAR(lhs.at(r, c), rhs.at(r, c), 1e-12);
+}
+
+TEST_P(CsrProperty, SpmvLinearity) {
+  const unsigned seed = GetParam();
+  Csr a = random_csr(12, 12, 0.3, seed);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> d(-1, 1);
+  std::vector<double> x(12), y(12);
+  for (auto& v : x) v = d(rng);
+  for (auto& v : y) v = d(rng);
+  std::vector<double> ax(12), ay(12), axy(12), xy(12);
+  for (int i = 0; i < 12; ++i) xy[i] = 2.0 * x[i] - 3.0 * y[i];
+  a.spmv(x, ax);
+  a.spmv(y, ay);
+  a.spmv(xy, axy);
+  for (int i = 0; i < 12; ++i)
+    EXPECT_NEAR(axy[i], 2.0 * ax[i] - 3.0 * ay[i], 1e-11);
+}

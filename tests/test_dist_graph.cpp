@@ -1,0 +1,126 @@
+/// \file test_dist_graph.cpp
+/// \brief Distributed-graph topology creation: both algorithm variants.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simmpi/dist_graph.hpp"
+
+using namespace simmpi;
+
+namespace {
+Engine ring_engine(int nranks) {
+  const int rpn = (nranks % 4 == 0) ? std::min(nranks, 4) : 1;
+  return Engine(Machine({.num_nodes = nranks / rpn,
+                         .regions_per_node = 1,
+                         .ranks_per_region = rpn}),
+                CostParams::lassen());
+}
+}  // namespace
+
+class DistGraphAlgo : public ::testing::TestWithParam<GraphAlgo> {};
+INSTANTIATE_TEST_SUITE_P(Algos, DistGraphAlgo,
+                         ::testing::Values(GraphAlgo::allgather,
+                                           GraphAlgo::handshake));
+
+TEST_P(DistGraphAlgo, RingTopology) {
+  const int p = 8;
+  Engine eng = ring_engine(p);
+  eng.run([&](Context& ctx) -> Task<> {
+    const int r = ctx.rank();
+    std::vector<int> srcs{(r - 1 + p) % p};
+    std::vector<int> dsts{(r + 1) % p};
+    DistGraph g = co_await dist_graph_create_adjacent(ctx, ctx.world(), srcs,
+                                                      dsts, GetParam());
+    EXPECT_EQ(g.sources, srcs);
+    EXPECT_EQ(g.destinations, dsts);
+    EXPECT_NE(g.comm.id(), ctx.world().id());
+    EXPECT_EQ(g.comm.size(), p);
+  });
+}
+
+TEST_P(DistGraphAlgo, AsymmetricIrregularTopology) {
+  // rank 0 sends to everyone; everyone sends to rank p-1.
+  const int p = 6;
+  Engine eng = ring_engine(p);
+  eng.run([&](Context& ctx) -> Task<> {
+    const int r = ctx.rank();
+    std::vector<int> dsts, srcs;
+    if (r == 0)
+      for (int d = 1; d < p; ++d) dsts.push_back(d);
+    if (r != p - 1) {
+      if (r != 0 || p == 1) {
+      }
+      dsts.push_back(p - 1);
+    }
+    if (r != 0) srcs.push_back(0);
+    if (r == p - 1)
+      for (int s = 0; s < p - 1; ++s) srcs.push_back(s);
+    // Deduplicate and sort to keep declared lists canonical.
+    std::sort(dsts.begin(), dsts.end());
+    dsts.erase(std::unique(dsts.begin(), dsts.end()), dsts.end());
+    std::sort(srcs.begin(), srcs.end());
+    srcs.erase(std::unique(srcs.begin(), srcs.end()), srcs.end());
+    DistGraph g = co_await dist_graph_create_adjacent(ctx, ctx.world(), srcs,
+                                                      dsts, GetParam());
+    EXPECT_EQ(g.sources, srcs);
+    EXPECT_EQ(g.destinations, dsts);
+  });
+}
+
+TEST_P(DistGraphAlgo, EmptyNeighborhoodsAllowed) {
+  Engine eng = ring_engine(4);
+  eng.run([&](Context& ctx) -> Task<> {
+    DistGraph g = co_await dist_graph_create_adjacent(
+        ctx, ctx.world(), std::vector<int>{}, std::vector<int>{}, GetParam());
+    EXPECT_TRUE(g.sources.empty());
+    EXPECT_TRUE(g.destinations.empty());
+  });
+}
+
+TEST(DistGraph, AllgatherDetectsInconsistentAdjacency) {
+  // Rank 1 claims to receive from rank 0, but rank 0 declares no sends.
+  Engine eng = ring_engine(2);
+  EXPECT_THROW(
+      eng.run([&](Context& ctx) -> Task<> {
+        std::vector<int> srcs, dsts;
+        if (ctx.rank() == 1) srcs.push_back(0);
+        co_await dist_graph_create_adjacent(ctx, ctx.world(), srcs, dsts,
+                                            GraphAlgo::allgather);
+      }),
+      SimError);
+}
+
+TEST(DistGraph, OutOfRangeNeighborRejected) {
+  Engine eng = ring_engine(2);
+  auto bad_run = [&] {
+    eng.run([&](Context& ctx) -> Task<> {
+      std::vector<int> srcs;
+      std::vector<int> dsts{5};
+      co_await dist_graph_create_adjacent(ctx, ctx.world(), srcs, dsts,
+                                          GraphAlgo::handshake);
+    });
+  };
+  EXPECT_THROW(bad_run(), SimError);
+}
+
+TEST(DistGraph, HandshakeIsCheaperThanAllgatherAtScale) {
+  // The mechanism behind Figure 6: the allgather-based construction pays
+  // O(P) while the handshake pays O(degree).
+  auto creation_time = [](GraphAlgo algo) {
+    Engine eng(Machine({.num_nodes = 16, .regions_per_node = 1,
+                        .ranks_per_region = 4}),
+               CostParams::lassen());
+    eng.run([&](Context& ctx) -> Task<> {
+      const int p = ctx.world().size();
+      const int r = ctx.rank();
+      std::vector<int> srcs{(r - 1 + p) % p}, dsts{(r + 1) % p};
+      co_await ctx.engine().sync_reset(ctx);
+      co_await dist_graph_create_adjacent(ctx, ctx.world(), srcs, dsts, algo);
+    });
+    return eng.max_clock();
+  };
+  EXPECT_LT(creation_time(GraphAlgo::handshake),
+            creation_time(GraphAlgo::allgather));
+}

@@ -1,0 +1,76 @@
+/// \file test_machine.cpp
+/// \brief Topology mapping and locality classification.
+
+#include <gtest/gtest.h>
+
+#include "simmpi/machine.hpp"
+
+using simmpi::Locality;
+using simmpi::Machine;
+using simmpi::MachineConfig;
+
+TEST(Machine, RankCounts) {
+  Machine m({.num_nodes = 4, .regions_per_node = 2, .ranks_per_region = 16});
+  EXPECT_EQ(m.num_ranks(), 128);
+  EXPECT_EQ(m.num_nodes(), 4);
+  EXPECT_EQ(m.num_regions(), 8);
+  EXPECT_EQ(m.ranks_per_region(), 16);
+  EXPECT_EQ(m.ranks_per_node(), 32);
+}
+
+TEST(Machine, RankMappingIsBlockedNodeMajor) {
+  Machine m({.num_nodes = 2, .regions_per_node = 2, .ranks_per_region = 4});
+  // ranks 0..3 region 0 node 0; 4..7 region 1 node 0; 8..11 region 2 node 1.
+  EXPECT_EQ(m.node_of(0), 0);
+  EXPECT_EQ(m.node_of(7), 0);
+  EXPECT_EQ(m.node_of(8), 1);
+  EXPECT_EQ(m.region_of(3), 0);
+  EXPECT_EQ(m.region_of(4), 1);
+  EXPECT_EQ(m.region_of(11), 2);
+  EXPECT_EQ(m.core_of(5), 1);
+  EXPECT_EQ(m.region_root(2), 8);
+}
+
+TEST(Machine, LocalityClassification) {
+  Machine m({.num_nodes = 2, .regions_per_node = 2, .ranks_per_region = 4});
+  EXPECT_EQ(m.classify(3, 3), Locality::self);
+  EXPECT_EQ(m.classify(0, 3), Locality::region);
+  EXPECT_EQ(m.classify(0, 4), Locality::node);
+  EXPECT_EQ(m.classify(0, 8), Locality::network);
+  EXPECT_EQ(m.classify(8, 0), Locality::network);
+}
+
+TEST(Machine, ClassificationIsSymmetric) {
+  Machine m({.num_nodes = 3, .regions_per_node = 2, .ranks_per_region = 3});
+  for (int a = 0; a < m.num_ranks(); ++a)
+    for (int b = 0; b < m.num_ranks(); ++b)
+      EXPECT_EQ(m.classify(a, b), m.classify(b, a)) << a << " vs " << b;
+}
+
+TEST(Machine, WithRegionSizeBuildsOneRegionPerNode) {
+  Machine m = Machine::with_region_size(2048, 16);
+  EXPECT_EQ(m.num_ranks(), 2048);
+  EXPECT_EQ(m.num_regions(), 128);
+  EXPECT_EQ(m.ranks_per_region(), 16);
+  EXPECT_EQ(m.config().regions_per_node, 1);
+}
+
+TEST(Machine, WithRegionSizeSmallRun) {
+  // Fewer ranks than a region: one partially filled region.
+  Machine m = Machine::with_region_size(5, 16);
+  EXPECT_EQ(m.num_ranks(), 5);
+  EXPECT_EQ(m.num_regions(), 1);
+}
+
+TEST(Machine, WithRegionSizeRejectsNonMultiple) {
+  EXPECT_THROW(Machine::with_region_size(33, 16), simmpi::SimError);
+}
+
+TEST(Machine, RejectsBadConfig) {
+  EXPECT_THROW(Machine({.num_nodes = 0, .regions_per_node = 1,
+                        .ranks_per_region = 1}),
+               simmpi::SimError);
+  EXPECT_THROW(Machine({.num_nodes = 1, .regions_per_node = -1,
+                        .ranks_per_region = 1}),
+               simmpi::SimError);
+}

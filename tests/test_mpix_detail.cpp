@@ -1,0 +1,119 @@
+/// \file test_mpix_detail.cpp
+/// \brief Pure helpers behind the locality-aware collectives.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mpix/detail.hpp"
+
+using namespace mpix;
+using namespace mpix::detail;
+
+TEST(AssignLeaders, RoundRobinCycles) {
+  std::vector<std::pair<int, long>> loads{{2, 10}, {5, 1}, {7, 99}, {9, 5}};
+  auto a = assign_leaders(loads, 3, /*lpt=*/false);
+  EXPECT_EQ(a, (std::vector<int>{0, 1, 2, 0}));
+}
+
+TEST(AssignLeaders, LptPutsHeaviestOnDistinctCores) {
+  std::vector<std::pair<int, long>> loads{{0, 100}, {1, 90}, {2, 10}, {3, 5}};
+  auto a = assign_leaders(loads, 2, /*lpt=*/true);
+  // 100 -> core 0, 90 -> core 1, 10 -> core 1 (load 90+10 later? no: 100 vs
+  // 90 => least loaded is core 1), then 5 -> core 1 has 100? Recompute:
+  // loads after 100->c0, 90->c1: c0=100,c1=90; 10->c1 (95? 90+10=100); 5 ->
+  // tie 100/100 -> lowest core c0.
+  EXPECT_EQ(a[0], 0);
+  EXPECT_EQ(a[1], 1);
+  EXPECT_EQ(a[2], 1);
+  EXPECT_EQ(a[3], 0);
+}
+
+TEST(AssignLeaders, LptBalancesTotalLoad) {
+  std::vector<std::pair<int, long>> loads;
+  for (int i = 0; i < 40; ++i) loads.emplace_back(i, 1 + (i * 37) % 100);
+  auto a = assign_leaders(loads, 4, true);
+  std::vector<long> per_core(4, 0);
+  long total = 0;
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    per_core[a[i]] += loads[i].second;
+    total += loads[i].second;
+  }
+  for (long c : per_core) {
+    EXPECT_GT(c, total / 4 - 110);
+    EXPECT_LT(c, total / 4 + 110);
+  }
+}
+
+TEST(AssignLeaders, DeterministicAcrossCalls) {
+  std::vector<std::pair<int, long>> loads{{3, 7}, {8, 7}, {1, 7}};
+  EXPECT_EQ(assign_leaders(loads, 2, true), assign_leaders(loads, 2, true));
+}
+
+TEST(AssignLeaders, SingleCoreTakesAll) {
+  std::vector<std::pair<int, long>> loads{{0, 5}, {1, 6}};
+  auto a = assign_leaders(loads, 1, true);
+  EXPECT_EQ(a, (std::vector<int>{0, 0}));
+}
+
+TEST(UniqueSorted, RemovesDuplicatesAndSorts) {
+  std::vector<gidx> g{5, 1, 5, 3, 1};
+  EXPECT_EQ(unique_sorted(g), (std::vector<gidx>{1, 3, 5}));
+  EXPECT_TRUE(unique_sorted(std::vector<gidx>{}).empty());
+}
+
+TEST(PairLayout, PartialSegmentsFollowEdgeOrder) {
+  Edge e1{0, 4, 2, {}};
+  Edge e2{0, 5, 3, {}};
+  Edge e3{1, 4, 1, {}};
+  std::vector<const Edge*> edges{&e1, &e2, &e3};
+  PairLayout lay = pair_layout(edges, false);
+  EXPECT_EQ(lay.total, 6);
+  ASSERT_EQ(lay.segments.size(), 3u);
+  EXPECT_EQ(lay.segments[0].offset, 0);
+  EXPECT_EQ(lay.segments[1].offset, 2);
+  EXPECT_EQ(lay.segments[2].offset, 5);
+  EXPECT_TRUE(lay.src_blocks.empty());
+}
+
+TEST(PairLayout, DedupMergesPerSource) {
+  Edge e1{0, 4, 2, {10, 11}};
+  Edge e2{0, 5, 2, {11, 12}};
+  Edge e3{1, 4, 2, {20, 21}};
+  std::vector<const Edge*> edges{&e1, &e2, &e3};
+  PairLayout lay = pair_layout(edges, true);
+  // src 0 contributes unique {10,11,12}; src 1 contributes {20,21}.
+  EXPECT_EQ(lay.total, 5);
+  ASSERT_EQ(lay.src_blocks.size(), 2u);
+  EXPECT_EQ(lay.src_blocks[0].src, 0);
+  EXPECT_EQ(lay.src_blocks[0].gids, (std::vector<gidx>{10, 11, 12}));
+  EXPECT_EQ(lay.src_blocks[0].offset, 0);
+  EXPECT_EQ(lay.src_blocks[1].src, 1);
+  EXPECT_EQ(lay.src_blocks[1].offset, 3);
+  EXPECT_EQ(lay.find(0, 12), 2);
+  EXPECT_EQ(lay.find(1, 20), 3);
+  EXPECT_THROW(lay.find(0, 99), simmpi::SimError);
+  EXPECT_THROW(lay.find(9, 10), simmpi::SimError);
+}
+
+TEST(PairLayout, DedupNeverLargerThanPartial) {
+  Edge e1{0, 4, 3, {1, 2, 3}};
+  Edge e2{0, 5, 3, {1, 2, 3}};
+  Edge e3{2, 5, 1, {7}};
+  std::vector<const Edge*> edges{&e1, &e2, &e3};
+  EXPECT_LE(pair_layout(edges, true).total, pair_layout(edges, false).total);
+  EXPECT_EQ(pair_layout(edges, true).total, 4);   // {1,2,3} + {7}
+  EXPECT_EQ(pair_layout(edges, false).total, 7);  // all copies
+}
+
+TEST(EdgeOrdering, SortsBySrcThenDst) {
+  std::vector<Edge> v;
+  v.push_back(Edge{2, 1, 1, {}});
+  v.push_back(Edge{1, 9, 1, {}});
+  v.push_back(Edge{1, 2, 1, {}});
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v[0].src, 1);
+  EXPECT_EQ(v[0].dst, 2);
+  EXPECT_EQ(v[1].dst, 9);
+  EXPECT_EQ(v[2].src, 2);
+}

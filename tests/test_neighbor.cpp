@@ -1,0 +1,250 @@
+/// \file test_neighbor.cpp
+/// \brief End-to-end verification of all three persistent neighbor
+/// collectives: delivery correctness on arbitrary irregular patterns,
+/// message-count invariants, and the paper's Example 2.1.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "pattern_util.hpp"
+#include "simmpi/dist_graph.hpp"
+
+using namespace simmpi;
+using namespace mpix;
+using pattern::GlobalPattern;
+using pattern::RankArgs;
+
+namespace {
+
+struct Shape {
+  int nodes;
+  int rpn;  // one region per node
+};
+
+/// Per-rank recorded statistics for post-run assertions.
+struct RunStats {
+  std::vector<NeighborStats> standard_, partial_, full_;
+  explicit RunStats(int n) : standard_(n), partial_(n), full_(n) {}
+};
+
+/// Run all three protocols on a pattern and verify delivered payloads.
+RunStats run_all_protocols(const Shape& shape, const GlobalPattern& pat,
+                           int iters = 3) {
+  Engine eng(Machine({.num_nodes = shape.nodes, .regions_per_node = 1,
+                      .ranks_per_region = shape.rpn}),
+             CostParams::lassen());
+  RunStats stats(pat.nranks);
+  eng.run([&](Context& ctx) -> Task<> {
+    const int r = ctx.rank();
+    RankArgs a = pattern::rank_args(pat, r);
+    DistGraph g = co_await dist_graph_create_adjacent(
+        ctx, ctx.world(), a.sources, a.destinations, GraphAlgo::handshake);
+
+    auto standard = neighbor_alltoallv_init_standard(ctx, g, a.view());
+    auto partial = co_await neighbor_alltoallv_init_locality(
+        ctx, g, a.view(), {.dedup = false});
+    auto full = co_await neighbor_alltoallv_init_locality(ctx, g, a.view(),
+                                                          {.dedup = true});
+    stats.standard_[r] = standard->stats();
+    stats.partial_[r] = partial->stats();
+    stats.full_[r] = full->stats();
+
+    NeighborAlltoallv* protos[] = {standard.get(), partial.get(), full.get()};
+    for (auto* proto : protos) {
+      for (int it = 0; it < iters; ++it) {
+        a.fill(100 * it + (proto == full.get() ? 7 : 0));
+        std::fill(a.recvbuf.begin(), a.recvbuf.end(), -1.0);
+        co_await proto->start(ctx);
+        co_await proto->wait(ctx);
+        for (std::size_t k = 0; k < a.recvbuf.size(); ++k)
+          EXPECT_DOUBLE_EQ(a.recvbuf[k], a.expected[k])
+              << proto->name() << " rank " << r << " pos " << k << " iter "
+              << it;
+      }
+    }
+    co_return;
+  });
+  return stats;
+}
+
+long sum_global_msgs(const std::vector<NeighborStats>& v) {
+  long t = 0;
+  for (const auto& s : v) t += s.global_msgs;
+  return t;
+}
+long sum_global_values(const std::vector<NeighborStats>& v) {
+  long t = 0;
+  for (const auto& s : v) t += s.global_values;
+  return t;
+}
+
+}  // namespace
+
+/// Property sweep: machines x seeds.  Every protocol must deliver identical
+/// payloads; aggregation must reduce inter-region message counts; dedup must
+/// never increase inter-region values.
+class NeighborProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, unsigned>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    MachinesAndSeeds, NeighborProperty,
+    ::testing::Combine(::testing::Values(1, 2, 4),      // nodes (=regions)
+                       ::testing::Values(1, 4, 8),      // ranks per region
+                       ::testing::Values(1u, 2u, 3u)),  // pattern seed
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "r" +
+             std::to_string(std::get<1>(info.param)) + "s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST_P(NeighborProperty, AllProtocolsDeliverIdenticalPayloads) {
+  const auto [nodes, rpn, seed] = GetParam();
+  const int nranks = nodes * rpn;
+  GlobalPattern pat = pattern::random_pattern(nranks, seed);
+  RunStats stats = run_all_protocols({nodes, rpn}, pat);
+
+  // Aggregation: at most one inter-region message per directed region pair.
+  const long pairs_bound = static_cast<long>(nodes) * (nodes - 1);
+  EXPECT_LE(sum_global_msgs(stats.partial_), pairs_bound);
+  EXPECT_LE(sum_global_msgs(stats.full_), pairs_bound);
+  // The standard protocol sends at least as many inter-region messages.
+  EXPECT_GE(sum_global_msgs(stats.standard_), sum_global_msgs(stats.partial_));
+  // Dedup sends the same number of messages but never more values.
+  EXPECT_EQ(sum_global_msgs(stats.partial_), sum_global_msgs(stats.full_));
+  EXPECT_LE(sum_global_values(stats.full_), sum_global_values(stats.partial_));
+  // Partial aggregation reshuffles but does not change total values crossing
+  // region boundaries.
+  EXPECT_EQ(sum_global_values(stats.partial_),
+            sum_global_values(stats.standard_));
+}
+
+TEST(Neighbor, EmptyPatternWorks) {
+  GlobalPattern pat;
+  pat.nranks = 8;
+  pat.sends.resize(8);
+  RunStats stats = run_all_protocols({2, 4}, pat, 2);
+  EXPECT_EQ(sum_global_msgs(stats.standard_), 0);
+  EXPECT_EQ(sum_global_msgs(stats.partial_), 0);
+}
+
+TEST(Neighbor, PurelyLocalPatternSendsNoGlobalMessages) {
+  // All traffic within one region.
+  GlobalPattern pat = pattern::random_pattern(8, 11);
+  RunStats stats = run_all_protocols({1, 8}, pat);
+  EXPECT_EQ(sum_global_msgs(stats.standard_), 0);
+  EXPECT_EQ(sum_global_msgs(stats.partial_), 0);
+  EXPECT_EQ(sum_global_msgs(stats.full_), 0);
+}
+
+TEST(Neighbor, OneRankPerRegionDegeneratesGracefully) {
+  // Aggregation with region size 1 still must deliver correctly (the
+  // "leader" is always the rank itself).
+  GlobalPattern pat = pattern::random_pattern(6, 13);
+  RunStats stats = run_all_protocols({6, 1}, pat);
+  EXPECT_GE(sum_global_msgs(stats.standard_), 0);
+}
+
+TEST(Neighbor, SelfLoopsAreDelivered) {
+  GlobalPattern pat;
+  pat.nranks = 4;
+  pat.sends.resize(4);
+  pat.sends[2][2] = {201, 202};  // rank 2 sends to itself
+  pat.sends[0][1] = {5};
+  run_all_protocols({1, 4}, pat, 2);
+}
+
+TEST(Neighbor, DedupRequiresIndices) {
+  Engine eng(Machine({.num_nodes = 2, .regions_per_node = 1,
+                      .ranks_per_region = 2}),
+             CostParams::lassen());
+  EXPECT_THROW(
+      eng.run([&](Context& ctx) -> Task<> {
+        GlobalPattern pat = pattern::random_pattern(4, 1);
+        RankArgs a = pattern::rank_args(pat, ctx.rank());
+        DistGraph g = co_await dist_graph_create_adjacent(
+            ctx, ctx.world(), a.sources, a.destinations,
+            GraphAlgo::handshake);
+        auto args = a.view();
+        args.send_idx = {};  // strip the extension data
+        co_await neighbor_alltoallv_init_locality(ctx, g, args,
+                                                  {.dedup = true});
+      }),
+      SimError);
+}
+
+TEST(Neighbor, MismatchedCountsRejected) {
+  Engine eng(Machine({.num_nodes = 1, .regions_per_node = 1,
+                      .ranks_per_region = 2}),
+             CostParams::lassen());
+  EXPECT_THROW(
+      eng.run([&](Context& ctx) -> Task<> {
+        GlobalPattern pat = pattern::random_pattern(2, 2);
+        RankArgs a = pattern::rank_args(pat, ctx.rank());
+        DistGraph g = co_await dist_graph_create_adjacent(
+            ctx, ctx.world(), a.sources, a.destinations,
+            GraphAlgo::handshake);
+        auto args = a.view();
+        args.sendcounts.push_back(1);  // wrong arity
+        neighbor_alltoallv_init_standard(ctx, g, args);
+        co_return;
+      }),
+      SimError);
+}
+
+// ---------------------------------------------------------------------------
+// The paper's Example 2.1 (Figures 2-5): two regions of four ranks; region 0
+// holds two values per rank (circle = gid 2r, square = gid 2r+1), shaded
+// with the destination ranks in region 1.
+// ---------------------------------------------------------------------------
+namespace {
+GlobalPattern example_2_1() {
+  GlobalPattern p;
+  p.nranks = 8;
+  p.sends.resize(8);
+  auto add = [&](int src, mpix::gidx gid, std::initializer_list<int> dsts) {
+    for (int d : dsts) p.sends[src][d].push_back(gid);
+  };
+  // P0: circle(0) -> P5, P6 ; square(1) -> P4, P5, P7    (paper text)
+  add(0, 0, {5, 6});
+  add(0, 1, {4, 5, 7});
+  // P2: circle(4) -> P4, P7 ; square(5) -> P4, P5, P6    (paper text)
+  add(2, 4, {4, 7});
+  add(2, 5, {4, 5, 6});
+  // P1, P3: consistent completion to the paper's 15 total messages.
+  add(1, 2, {4, 6});
+  add(1, 3, {5, 6, 7});
+  add(3, 6, {7});
+  add(3, 7, {4, 6});
+  for (auto& m : p.sends)
+    for (auto& [d, gids] : m) std::sort(gids.begin(), gids.end());
+  return p;
+}
+}  // namespace
+
+TEST(Example21, StandardSendsFifteenInterRegionMessages) {
+  GlobalPattern pat = example_2_1();
+  RunStats stats = run_all_protocols({2, 4}, pat);
+  EXPECT_EQ(sum_global_msgs(stats.standard_), 15);
+  // P0 and P2 each send 4 inter-region messages (Figure 3).
+  EXPECT_EQ(stats.standard_[0].global_msgs, 4);
+  EXPECT_EQ(stats.standard_[2].global_msgs, 4);
+}
+
+TEST(Example21, AggregationSendsOneInterRegionMessage) {
+  GlobalPattern pat = example_2_1();
+  RunStats stats = run_all_protocols({2, 4}, pat);
+  // One destination region => a single aggregated message (Figure 4).
+  EXPECT_EQ(sum_global_msgs(stats.partial_), 1);
+  EXPECT_EQ(sum_global_msgs(stats.full_), 1);
+  // Partial aggregation still moves every copy (18 value copies across the
+  // 15 standard messages: P0/P2 bundle two values toward P4/P5).
+  EXPECT_EQ(sum_global_values(stats.partial_), 18);
+}
+
+TEST(Example21, DedupSendsEachValueOnce) {
+  GlobalPattern pat = example_2_1();
+  RunStats stats = run_all_protocols({2, 4}, pat);
+  // Eight distinct values (2 per rank in region 0) cross once (Figure 5).
+  EXPECT_EQ(sum_global_values(stats.full_), 8);
+}

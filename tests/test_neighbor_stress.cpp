@@ -1,0 +1,252 @@
+/// \file test_neighbor_stress.cpp
+/// \brief Heavier property and failure-injection tests for the persistent
+/// neighbor collectives: larger machines, adversarial patterns, persistent
+/// reuse, protocol-state misuse, and determinism.
+
+#include <gtest/gtest.h>
+
+#include "pattern_util.hpp"
+#include "simmpi/dist_graph.hpp"
+
+using namespace simmpi;
+using namespace mpix;
+using pattern::GlobalPattern;
+using pattern::RankArgs;
+
+namespace {
+
+Engine engine_of(int nodes, int rpn) {
+  return Engine(Machine({.num_nodes = nodes, .regions_per_node = 1,
+                         .ranks_per_region = rpn}),
+                CostParams::lassen());
+}
+
+/// All-to-all pattern: every rank sends `k` values to every other rank,
+/// drawn from a pool of `pool` distinct values.
+GlobalPattern dense_pattern(int nranks, int k, int pool) {
+  GlobalPattern p;
+  p.nranks = nranks;
+  p.sends.resize(nranks);
+  for (int s = 0; s < nranks; ++s)
+    for (int d = 0; d < nranks; ++d) {
+      if (d == s) continue;
+      for (int i = 0; i < k; ++i)
+        p.sends[s][d].push_back(static_cast<gidx>(s) * 100 +
+                                (s + d + i) % pool);
+    }
+  return p;
+}
+
+/// Fan-in: every rank sends its values to the ranks of region 0 only.
+GlobalPattern fanin_pattern(int nranks, int rpn) {
+  GlobalPattern p;
+  p.nranks = nranks;
+  p.sends.resize(nranks);
+  for (int s = rpn; s < nranks; ++s)
+    for (int d = 0; d < rpn; ++d)
+      p.sends[s][d] = {static_cast<gidx>(s) * 100,
+                       static_cast<gidx>(s) * 100 + 1};
+  return p;
+}
+
+/// Run one protocol over several iterations and verify payloads.
+void verify_protocol(Engine& eng, const GlobalPattern& pat, int which,
+                     bool lpt = true) {
+  eng.run([&](Context& ctx) -> Task<> {
+    RankArgs a = pattern::rank_args(pat, ctx.rank());
+    DistGraph g = co_await dist_graph_create_adjacent(
+        ctx, ctx.world(), a.sources, a.destinations, GraphAlgo::handshake);
+    std::unique_ptr<NeighborAlltoallv> proto;
+    if (which == 0)
+      proto = neighbor_alltoallv_init_standard(ctx, g, a.view());
+    else
+      proto = co_await neighbor_alltoallv_init_locality(
+          ctx, g, a.view(), {.dedup = which == 2, .lpt_balance = lpt});
+    for (int it = 0; it < 4; ++it) {
+      a.fill(it);
+      std::fill(a.recvbuf.begin(), a.recvbuf.end(), -7.0);
+      co_await proto->start(ctx);
+      co_await proto->wait(ctx);
+      for (std::size_t k = 0; k < a.recvbuf.size(); ++k)
+        EXPECT_DOUBLE_EQ(a.recvbuf[k], a.expected[k])
+            << "proto " << which << " rank " << ctx.rank() << " it " << it;
+    }
+    co_return;
+  });
+}
+
+}  // namespace
+
+class DensePattern : public ::testing::TestWithParam<std::tuple<int, int>> {};
+INSTANTIATE_TEST_SUITE_P(Shapes, DensePattern,
+                         ::testing::Values(std::make_tuple(4, 8),
+                                           std::make_tuple(8, 4),
+                                           std::make_tuple(8, 16),
+                                           std::make_tuple(16, 8)));
+
+TEST_P(DensePattern, AllProtocolsSurviveAllToAllTraffic) {
+  const auto [nodes, rpn] = GetParam();
+  GlobalPattern pat = dense_pattern(nodes * rpn, 2, 3);
+  for (int which : {0, 1, 2}) {
+    Engine eng = engine_of(nodes, rpn);
+    verify_protocol(eng, pat, which);
+  }
+}
+
+TEST(NeighborStress, FanInPatternConcentratesOnOneRegion) {
+  const int nodes = 8, rpn = 8;
+  GlobalPattern pat = fanin_pattern(nodes * rpn, rpn);
+  for (int which : {0, 1, 2}) {
+    Engine eng = engine_of(nodes, rpn);
+    verify_protocol(eng, pat, which);
+  }
+}
+
+TEST(NeighborStress, RoundRobinLeadersDeliverIdenticalPayloads) {
+  // Correctness must not depend on the load-balancing strategy.
+  GlobalPattern pat = pattern::random_pattern(32, 23);
+  Engine eng1 = engine_of(4, 8);
+  verify_protocol(eng1, pat, 1, /*lpt=*/false);
+  Engine eng2 = engine_of(4, 8);
+  verify_protocol(eng2, pat, 2, /*lpt=*/false);
+}
+
+TEST(NeighborStress, TwoCollectivesInterleavedOnOneGraph) {
+  // Two independent persistent collectives on the same topology must not
+  // cross channels even when their start/wait windows overlap.
+  GlobalPattern pat = pattern::random_pattern(16, 31);
+  Engine eng = engine_of(4, 4);
+  eng.run([&](Context& ctx) -> Task<> {
+    RankArgs a = pattern::rank_args(pat, ctx.rank());
+    RankArgs b = pattern::rank_args(pat, ctx.rank());
+    DistGraph g = co_await dist_graph_create_adjacent(
+        ctx, ctx.world(), a.sources, a.destinations, GraphAlgo::handshake);
+    auto p1 = co_await neighbor_alltoallv_init_locality(ctx, g, a.view(),
+                                                        {.dedup = false});
+    auto p2 = co_await neighbor_alltoallv_init_locality(ctx, g, b.view(),
+                                                        {.dedup = true});
+    a.fill(1);
+    b.fill(2);
+    co_await p1->start(ctx);
+    co_await p2->start(ctx);  // overlapping windows
+    co_await p2->wait(ctx);
+    co_await p1->wait(ctx);
+    for (std::size_t k = 0; k < a.recvbuf.size(); ++k) {
+      EXPECT_DOUBLE_EQ(a.recvbuf[k], a.expected[k]);
+      EXPECT_DOUBLE_EQ(b.recvbuf[k], b.expected[k]);
+    }
+    co_return;
+  });
+}
+
+TEST(NeighborStress, WaitWithoutStartThrows) {
+  GlobalPattern pat = pattern::random_pattern(8, 3);
+  Engine eng = engine_of(2, 4);
+  EXPECT_THROW(
+      eng.run([&](Context& ctx) -> Task<> {
+        RankArgs a = pattern::rank_args(pat, ctx.rank());
+        DistGraph g = co_await dist_graph_create_adjacent(
+            ctx, ctx.world(), a.sources, a.destinations,
+            GraphAlgo::handshake);
+        auto proto = neighbor_alltoallv_init_standard(ctx, g, a.view());
+        co_await proto->wait(ctx);  // never started
+      }),
+      SimError);
+}
+
+TEST(NeighborStress, DoubleStartThrows) {
+  GlobalPattern pat;
+  pat.nranks = 8;
+  pat.sends.resize(8);
+  pat.sends[0][4] = {1, 2};  // ensure rank 0 has an active send request
+  Engine eng = engine_of(2, 4);
+  EXPECT_THROW(
+      eng.run([&](Context& ctx) -> Task<> {
+        RankArgs a = pattern::rank_args(pat, ctx.rank());
+        DistGraph g = co_await dist_graph_create_adjacent(
+            ctx, ctx.world(), a.sources, a.destinations,
+            GraphAlgo::handshake);
+        auto proto = neighbor_alltoallv_init_standard(ctx, g, a.view());
+        co_await proto->start(ctx);
+        co_await proto->start(ctx);  // start while active
+        co_await proto->wait(ctx);
+      }),
+      SimError);
+}
+
+TEST(NeighborStress, SimulatedTimesAreDeterministic) {
+  auto run_once = [] {
+    GlobalPattern pat = pattern::random_pattern(32, 5);
+    Engine eng = engine_of(4, 8);
+    std::vector<double> clocks;
+    eng.run([&](Context& ctx) -> Task<> {
+      RankArgs a = pattern::rank_args(pat, ctx.rank());
+      DistGraph g = co_await dist_graph_create_adjacent(
+          ctx, ctx.world(), a.sources, a.destinations, GraphAlgo::handshake);
+      auto proto = co_await neighbor_alltoallv_init_locality(
+          ctx, g, a.view(), {.dedup = true});
+      a.fill(0);
+      co_await proto->start(ctx);
+      co_await proto->wait(ctx);
+      co_return;
+    });
+    for (int r = 0; r < 32; ++r) clocks.push_back(eng.clock(r));
+    return clocks;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(NeighborStress, StatsAreStableAcrossIterations) {
+  // Persistent semantics: message statistics are fixed at init; repeated
+  // start/wait must not change them.
+  GlobalPattern pat = pattern::random_pattern(16, 9);
+  Engine eng = engine_of(4, 4);
+  eng.run([&](Context& ctx) -> Task<> {
+    RankArgs a = pattern::rank_args(pat, ctx.rank());
+    DistGraph g = co_await dist_graph_create_adjacent(
+        ctx, ctx.world(), a.sources, a.destinations, GraphAlgo::handshake);
+    auto proto = co_await neighbor_alltoallv_init_locality(ctx, g, a.view(),
+                                                           {.dedup = true});
+    const NeighborStats before = proto->stats();
+    for (int it = 0; it < 3; ++it) {
+      a.fill(it);
+      co_await proto->start(ctx);
+      co_await proto->wait(ctx);
+    }
+    const NeighborStats after = proto->stats();
+    EXPECT_EQ(before.local_msgs, after.local_msgs);
+    EXPECT_EQ(before.global_msgs, after.global_msgs);
+    EXPECT_EQ(before.local_values, after.local_values);
+    EXPECT_EQ(before.global_values, after.global_values);
+    co_return;
+  });
+}
+
+TEST(NeighborStress, SingleValueBroadcastLikePattern) {
+  // One rank fans a single value out to every rank of every other region:
+  // dedup should reduce each region pair's payload to exactly one value.
+  const int nodes = 4, rpn = 4;
+  GlobalPattern pat;
+  pat.nranks = nodes * rpn;
+  pat.sends.resize(pat.nranks);
+  for (int d = rpn; d < pat.nranks; ++d) pat.sends[0][d] = {42};
+  Engine eng = engine_of(nodes, rpn);
+  std::vector<NeighborStats> stats(pat.nranks);
+  eng.run([&](Context& ctx) -> Task<> {
+    RankArgs a = pattern::rank_args(pat, ctx.rank());
+    DistGraph g = co_await dist_graph_create_adjacent(
+        ctx, ctx.world(), a.sources, a.destinations, GraphAlgo::handshake);
+    auto proto = co_await neighbor_alltoallv_init_locality(ctx, g, a.view(),
+                                                           {.dedup = true});
+    a.fill(3);
+    co_await proto->start(ctx);
+    co_await proto->wait(ctx);
+    for (std::size_t k = 0; k < a.recvbuf.size(); ++k)
+      EXPECT_DOUBLE_EQ(a.recvbuf[k], a.expected[k]);
+    stats[ctx.rank()] = proto->stats();
+    co_return;
+  });
+  long global_values = 0;
+  for (const auto& s : stats) global_values += s.global_values;
+  EXPECT_EQ(global_values, nodes - 1);  // one value per destination region
+}
