@@ -55,7 +55,10 @@ struct AlltoallvArgs {
 
 /// Per-rank message statistics of one collective instance (sender side),
 /// feeding Figures 8-10.  "local" = intra-region tiers, "global" =
-/// inter-region (network) messages.  Self copies are not messages.
+/// inter-region (network) messages.  Point-to-point sends a rank posts to
+/// itself go through the simulated MPI layer and count as local messages;
+/// the locality plan's staging self-copies (when a rank is its own leader)
+/// are plain memcpys and are not counted.
 struct NeighborStats {
   long local_msgs = 0;
   long global_msgs = 0;

@@ -3,6 +3,9 @@
 /// \brief Shared test helper: random irregular communication patterns with
 /// globally consistent send/recv argument construction.
 
+#include <gtest/gtest.h>
+
+#include <algorithm>
 #include <map>
 #include <random>
 #include <vector>
@@ -10,6 +13,53 @@
 #include "mpix/neighbor.hpp"
 
 namespace pattern {
+
+/// Invariant checks over one rank's sender-side NeighborStats.  Values are
+/// only ever counted alongside a message, so a rank with no messages of a
+/// kind must report zero values of that kind, and no single inter-region
+/// message can carry more values than the rank's inter-region total.  If
+/// `total_sent_values` is non-negative it must equal the values counted
+/// across all of the rank's messages (the standard protocol turns every
+/// send segment into exactly one message, so there the total is simply the
+/// send buffer size).
+inline void verify_stats(const mpix::NeighborStats& s,
+                         long total_sent_values = -1) {
+  EXPECT_GE(s.local_msgs, 0);
+  EXPECT_GE(s.global_msgs, 0);
+  EXPECT_GE(s.local_values, 0);
+  EXPECT_GE(s.global_values, 0);
+  EXPECT_LE(s.max_global_msg_values, s.global_values);
+  if (s.global_msgs == 0) {
+    EXPECT_EQ(s.global_values, 0);
+    EXPECT_EQ(s.max_global_msg_values, 0);
+  } else {
+    // The largest message carries at least the average share.
+    EXPECT_GE(s.max_global_msg_values * s.global_msgs, s.global_values);
+  }
+  if (s.local_msgs == 0) {
+    EXPECT_EQ(s.local_values, 0);
+  }
+  if (total_sent_values >= 0) {
+    EXPECT_EQ(s.local_values + s.global_values, total_sent_values);
+  }
+}
+
+/// Aggregations over per-rank stats used by the suites' balance assertions.
+inline long sum_global_msgs(const std::vector<mpix::NeighborStats>& v) {
+  long t = 0;
+  for (const auto& s : v) t += s.global_msgs;
+  return t;
+}
+inline long sum_global_values(const std::vector<mpix::NeighborStats>& v) {
+  long t = 0;
+  for (const auto& s : v) t += s.global_values;
+  return t;
+}
+inline long max_global_values(const std::vector<mpix::NeighborStats>& v) {
+  long m = 0;
+  for (const auto& s : v) m = std::max(m, s.global_values);
+  return m;
+}
 
 /// Deterministic value of a logical datum at a given iteration.  Equal gids
 /// always produce equal values (the dedup precondition).

@@ -49,6 +49,14 @@ RunStats run_all_protocols(const Shape& shape, const GlobalPattern& pat,
     stats.standard_[r] = standard->stats();
     stats.partial_[r] = partial->stats();
     stats.full_[r] = full->stats();
+    // Standard wraps every send segment in exactly one message, so its
+    // counted values must sum to the send buffer size; the locality
+    // variants re-route values through leaders, so only the internal
+    // invariants apply.
+    pattern::verify_stats(stats.standard_[r],
+                          static_cast<long>(a.sendbuf.size()));
+    pattern::verify_stats(stats.partial_[r]);
+    pattern::verify_stats(stats.full_[r]);
 
     NeighborAlltoallv* protos[] = {standard.get(), partial.get(), full.get()};
     for (auto* proto : protos) {
@@ -68,16 +76,8 @@ RunStats run_all_protocols(const Shape& shape, const GlobalPattern& pat,
   return stats;
 }
 
-long sum_global_msgs(const std::vector<NeighborStats>& v) {
-  long t = 0;
-  for (const auto& s : v) t += s.global_msgs;
-  return t;
-}
-long sum_global_values(const std::vector<NeighborStats>& v) {
-  long t = 0;
-  for (const auto& s : v) t += s.global_values;
-  return t;
-}
+using pattern::sum_global_msgs;
+using pattern::sum_global_values;
 
 }  // namespace
 

@@ -62,6 +62,9 @@ void verify_protocol(Engine& eng, const GlobalPattern& pat, int which,
     else
       proto = co_await neighbor_alltoallv_init_locality(
           ctx, g, a.view(), {.dedup = which == 2, .lpt_balance = lpt});
+    pattern::verify_stats(
+        proto->stats(),
+        which == 0 ? static_cast<long>(a.sendbuf.size()) : -1);
     for (int it = 0; it < 4; ++it) {
       a.fill(it);
       std::fill(a.recvbuf.begin(), a.recvbuf.end(), -7.0);
