@@ -1,0 +1,14 @@
+# -DSANITIZE=address|undefined|address,undefined
+# Applied globally (compile + link) so the whole tree, tests, and benches
+# run instrumented; invalid values fail at configure time.
+set(SANITIZE "" CACHE STRING "Enable sanitizers: address, undefined, or address,undefined")
+if(SANITIZE)
+  string(REPLACE "," ";" _san_list "${SANITIZE}")
+  foreach(_san IN LISTS _san_list)
+    if(NOT _san MATCHES "^(address|undefined)$")
+      message(FATAL_ERROR "SANITIZE must be address, undefined, or address,undefined; got '${SANITIZE}'")
+    endif()
+    add_compile_options(-fsanitize=${_san} -fno-omit-frame-pointer)
+    add_link_options(-fsanitize=${_san})
+  endforeach()
+endif()

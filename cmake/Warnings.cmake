@@ -1,0 +1,4 @@
+# Hygiene flags applied to every target in the repo (not to imported deps):
+# link collom_warnings PRIVATE from each target.
+add_library(collom_warnings INTERFACE)
+target_compile_options(collom_warnings INTERFACE -Wall -Wextra)
