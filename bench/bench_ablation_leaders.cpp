@@ -22,7 +22,7 @@ struct Data {
 const Data& data() {
   static const Data d = [] {
     Data out;
-    const auto& dh = harness::paper_dist_hierarchy(kPaperRows, kPaperRanks);
+    const auto& dh = harness::paper_dist_hierarchy(paper_rows(), paper_ranks());
     harness::MeasureConfig cfg = paper_config();
     cfg.lpt_balance = true;
     auto lpt = harness::measure_protocol(dh, Protocol::neighbor_partial, cfg);

@@ -35,7 +35,7 @@ struct Data {
 Entry run(const char* name, simmpi::CostParams params) {
   harness::MeasureConfig cfg = paper_config();
   cfg.cost = params;
-  const auto& dh = harness::paper_dist_hierarchy(kPaperRows, kPaperRanks);
+  const auto& dh = harness::paper_dist_hierarchy(paper_rows(), paper_ranks());
   Entry e;
   e.name = name;
   auto hyp = harness::measure_protocol(dh, Protocol::hypre, cfg);

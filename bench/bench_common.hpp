@@ -7,10 +7,16 @@
 /// exposes each point as a google-benchmark counter (`sim_seconds` etc. —
 /// wall time of these benchmarks is meaningless; the simulator's virtual
 /// seconds are the measurement), and prints a paper-style table.
+///
+/// Setting `COLLOM_BENCH_QUICK=1` (the `run_benches_quick` target / CI
+/// smoke job) caps every sweep at 256 simulated ranks and shrinks the
+/// fixed-size problems to match, so each binary finishes in seconds while
+/// still exercising the full measurement pipeline.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "harness/dist_solve.hpp"
@@ -25,21 +31,52 @@ inline constexpr int kPaperRanks = 2048;
 inline constexpr int kRanksPerRegion = 16;  // one CPU of a Lassen node
 inline constexpr long kWeakRowsPerRank = 256;  // 524288 rows at 2048 ranks
 
+/// Rank cap of the `--quick` smoke mode (COLLOM_BENCH_QUICK=1).
+inline constexpr int kQuickMaxRanks = 256;
+
+inline bool quick_mode() {
+  static const bool q = [] {
+    const char* v = std::getenv("COLLOM_BENCH_QUICK");
+    return v != nullptr && *v != '\0' && *v != '0';
+  }();
+  return q;
+}
+
+/// Rank count of the fixed-size (non-sweeping) figures.
+inline int paper_ranks() { return quick_mode() ? kQuickMaxRanks : kPaperRanks; }
+
+/// Problem size of the fixed-size figures (weak-scaling-consistent in
+/// quick mode, the paper's 524288 rows otherwise).
+inline long paper_rows() {
+  return quick_mode() ? kWeakRowsPerRank * paper_ranks() : kPaperRows;
+}
+
 /// Strong/weak scaling sweep (Figures 12/13).
 inline const std::vector<int>& scaling_ranks() {
-  static const std::vector<int> v{32, 64, 128, 256, 512, 1024, 2048};
-  return v;
+  static const std::vector<int> full{32, 64, 128, 256, 512, 1024, 2048};
+  static const std::vector<int> quick{32, 64, 128, 256};
+  return quick_mode() ? quick : full;
 }
 
 /// Graph-creation sweep (Figure 6).
 inline const std::vector<int>& graph_ranks() {
-  static const std::vector<int> v{16, 64, 256, 512, 1024, 2048};
-  return v;
+  static const std::vector<int> full{16, 64, 256, 512, 1024, 2048};
+  static const std::vector<int> quick{16, 64, 256};
+  return quick_mode() ? quick : full;
+}
+
+/// Locality plans reused across benchmark repetitions and protocols (the
+/// per-pattern aggregation setup is paid once per sweep point, not once
+/// per google-benchmark iteration).
+inline harness::PlanCache& plan_cache() {
+  static harness::PlanCache cache;
+  return cache;
 }
 
 inline harness::MeasureConfig paper_config() {
   harness::MeasureConfig cfg;
   cfg.ranks_per_region = kRanksPerRegion;
+  cfg.plans = &plan_cache();
   return cfg;
 }
 
@@ -53,6 +90,16 @@ struct ProtocolSet {
 };
 
 inline ProtocolSet measure_all(long rows, int nranks) {
+  // The plan cache would keep every sweep point's plans alive; clear it
+  // when the instance changes (mirrors the single-entry memoization of
+  // paper_dist_hierarchy).
+  static long cached_rows = -1;
+  static int cached_ranks = -1;
+  if (rows != cached_rows || nranks != cached_ranks) {
+    plan_cache().clear();
+    cached_rows = rows;
+    cached_ranks = nranks;
+  }
   const auto& dh = harness::paper_dist_hierarchy(rows, nranks);
   ProtocolSet s;
   for (harness::Protocol p : harness::kAllProtocols)

@@ -19,7 +19,7 @@ const Data& data() {
   static const Data d = [] {
     Data out;
     for (int p : graph_ranks()) {
-      const auto& dh = harness::paper_dist_hierarchy(kPaperRows, p);
+      const auto& dh = harness::paper_dist_hierarchy(paper_rows(), p);
       out.procs.push_back(p);
       out.spectrum.push_back(harness::measure_graph_creation(
           dh, simmpi::GraphAlgo::allgather, paper_config()));
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
   const double ratio = d.spectrum.back() / d.mvapich.back();
   std::printf("at %d processes: spectrum/mvapich ratio = %.1fx "
               "(paper: 8.6x)\n",
-              kPaperRanks, ratio);
+              graph_ranks().back(), ratio);
   benchmark::Shutdown();
   return 0;
 }

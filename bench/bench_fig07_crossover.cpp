@@ -23,7 +23,7 @@ struct Data {
 const Data& data() {
   static const Data d = [] {
     Data out;
-    ProtocolSet s = measure_all(kPaperRows, kPaperRanks);
+    ProtocolSet s = measure_all(paper_rows(), paper_ranks());
     for (int p = 0; p < 4; ++p) {
       for (const auto& lm : s.per[p]) {
         out.init[p] += lm.init_seconds;

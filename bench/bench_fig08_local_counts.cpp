@@ -18,7 +18,7 @@ struct Data {
 const Data& data() {
   static const Data d = [] {
     Data out;
-    const auto& dh = harness::paper_dist_hierarchy(kPaperRows, kPaperRanks);
+    const auto& dh = harness::paper_dist_hierarchy(paper_rows(), paper_ranks());
     auto std_m = harness::measure_protocol(dh, Protocol::neighbor_standard,
                                            paper_config());
     auto opt_m = harness::measure_protocol(dh, Protocol::neighbor_partial,

@@ -20,7 +20,7 @@ struct Data {
 const Data& data() {
   static const Data d = [] {
     Data out;
-    const auto& dh = harness::paper_dist_hierarchy(kPaperRows, kPaperRanks);
+    const auto& dh = harness::paper_dist_hierarchy(paper_rows(), paper_ranks());
     auto par = harness::measure_protocol(dh, Protocol::neighbor_partial,
                                          paper_config());
     auto ful = harness::measure_protocol(dh, Protocol::neighbor_full,

@@ -20,7 +20,7 @@ struct Data {
 const Data& data() {
   static const Data d = [] {
     Data out;
-    ProtocolSet s = measure_all(kPaperRows, kPaperRanks);
+    ProtocolSet s = measure_all(paper_rows(), paper_ranks());
     for (std::size_t l = 0; l < s.per[0].size(); ++l) {
       out.levels.push_back(static_cast<double>(l));
       for (int p = 0; p < 4; ++p)

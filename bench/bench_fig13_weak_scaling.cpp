@@ -71,9 +71,9 @@ int main(int argc, char** argv) {
   const double partial_speedup = d.hypre.back() / d.partial.back();
   const double full_speedup = d.hypre.back() / d.full.back();
   std::printf(
-      "speedup vs Standard Hypre at 2048: partial %.2fx (paper: 1.96x), "
-      "full %.2fx (paper: 2.17x)\n",
-      partial_speedup, full_speedup);
+      "speedup vs Standard Hypre at %d: partial %.2fx (paper at 2048: "
+      "1.96x), full %.2fx (paper: 2.17x)\n",
+      scaling_ranks().back(), partial_speedup, full_speedup);
   benchmark::Shutdown();
   return 0;
 }

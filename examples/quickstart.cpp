@@ -81,21 +81,19 @@ int main() {
 
     DistGraph graph = co_await dist_graph_create_adjacent(
         ctx, ctx.world(), srcs, dests, GraphAlgo::handshake);
-    mpix::AlltoallvArgs args{.sendbuf = sendbuf,
-                             .sendcounts = sendcounts,
-                             .sdispls = sdispls,
-                             .recvbuf = recvbuf,
-                             .recvcounts = recvcounts,
-                             .rdispls = rdispls,
-                             .send_idx = send_idx,
-                             .recv_idx = recv_idx};
+    mpix::AlltoallvArgsT<double> args{.sendbuf = sendbuf,
+                                      .sendcounts = sendcounts,
+                                      .sdispls = sdispls,
+                                      .recvbuf = recvbuf,
+                                      .recvcounts = recvcounts,
+                                      .rdispls = rdispls,
+                                      .send_idx = send_idx,
+                                      .recv_idx = recv_idx};
 
     std::unique_ptr<mpix::NeighborAlltoallv> protos[3];
-    protos[0] = mpix::neighbor_alltoallv_init_standard(ctx, graph, args);
-    protos[1] = co_await mpix::neighbor_alltoallv_init_locality(
-        ctx, graph, args, {.dedup = false});
-    protos[2] = co_await mpix::neighbor_alltoallv_init_locality(
-        ctx, graph, args, {.dedup = true});
+    for (int p = 0; p < 3; ++p)
+      protos[p] = co_await mpix::neighbor_alltoallv_init(
+          ctx, graph, args, mpix::kAllMethods[p]);
 
     for (int p = 0; p < 3; ++p) {
       std::fill(recvbuf.begin(), recvbuf.end(), 0.0);

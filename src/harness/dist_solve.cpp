@@ -58,6 +58,30 @@ DistSolveResult run_distributed_amg(const amg::DistHierarchy& dh,
   std::vector<std::vector<double>> x_parts(p);
   std::vector<double> elapsed(p, 0.0);
 
+  // Global pattern keys for the optional plan cache (host-side, identical
+  // for every rank): each level contributes up to three exchange patterns
+  // (operator, restriction, prolongation).  With a cache that persists
+  // across solves of the same hierarchy, every locality-aware setup after
+  // the first re-binds its cached LocalityPlan without communication.
+  struct LevelKeys {
+    std::uint64_t a = 0, r = 0, p = 0;
+  };
+  std::vector<LevelKeys> keys(nlevels);
+  if (cfg.plans && uses_locality(protocol))
+    for (int l = 0; l < nlevels; ++l) {
+      keys[l].a = pattern_fingerprint(dh.levels[l].halo);
+      if (dh.levels[l].has_coarse()) {
+        keys[l].r = pattern_fingerprint(dh.levels[l].halo_R);
+        keys[l].p = pattern_fingerprint(dh.levels[l].halo_P);
+      }
+    }
+  auto ex_opts = [&](std::uint64_t key) {
+    return ExchangeOptions{.graph_algo = cfg.graph_algo,
+                           .lpt_balance = cfg.lpt_balance,
+                           .plans = cfg.plans,
+                           .pattern_key = key};
+  };
+
   eng.run([&](Context& ctx) -> Task<> {
     const int r = ctx.rank();
     auto comm = ctx.world();
@@ -76,12 +100,13 @@ DistSolveResult run_distributed_amg(const amg::DistHierarchy& dh,
         if (s.diag[i] == 0.0)
           throw simmpi::SimError("run_distributed_amg: zero diagonal");
       s.ex_a = co_await make_halo_exchange(ctx, comm, protocol,
-                                           lvl.halo.ranks[r], cfg.graph_algo);
+                                           lvl.halo.ranks[r],
+                                           ex_opts(keys[l].a));
       if (lvl.has_coarse()) {
         s.ex_r = co_await make_halo_exchange(
-            ctx, comm, protocol, lvl.halo_R.ranks[r], cfg.graph_algo);
+            ctx, comm, protocol, lvl.halo_R.ranks[r], ex_opts(keys[l].r));
         s.ex_p = co_await make_halo_exchange(
-            ctx, comm, protocol, lvl.halo_P.ranks[r], cfg.graph_algo);
+            ctx, comm, protocol, lvl.halo_P.ranks[r], ex_opts(keys[l].p));
       }
     }
     const long first0 = dh.levels[0].A.row_part[r];

@@ -6,6 +6,21 @@
 
 namespace harness {
 
+// The Protocol <-> Method mapping must round-trip for every neighbor
+// protocol (and every method): the harness dispatch relies on it.
+static_assert(protocol_of(method_of(Protocol::neighbor_standard)) ==
+              Protocol::neighbor_standard);
+static_assert(protocol_of(method_of(Protocol::neighbor_partial)) ==
+              Protocol::neighbor_partial);
+static_assert(protocol_of(method_of(Protocol::neighbor_full)) ==
+              Protocol::neighbor_full);
+static_assert(method_of(protocol_of(mpix::Method::standard)) ==
+              mpix::Method::standard);
+static_assert(method_of(protocol_of(mpix::Method::locality)) ==
+              mpix::Method::locality);
+static_assert(method_of(protocol_of(mpix::Method::locality_dedup)) ==
+              mpix::Method::locality_dedup);
+
 namespace {
 
 using simmpi::Comm;
@@ -47,7 +62,7 @@ struct Buffers {
   }
 
   mpix::AlltoallvArgs args() {
-    return mpix::AlltoallvArgs{
+    return mpix::AlltoallvArgsT<double>{
         .sendbuf = sendbuf,
         .sendcounts = sendcounts,
         .sdispls = sdispls,
@@ -141,11 +156,74 @@ class NeighborExchange final : public HaloExchange {
   std::unique_ptr<mpix::NeighborAlltoallv> coll_;
 };
 
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+template <class T>
+std::uint64_t fnv_mix_vec(std::uint64_t h, const std::vector<T>& v) {
+  h = fnv_mix(h, v.size());
+  for (const T& x : v) h = fnv_mix(h, static_cast<std::uint64_t>(x));
+  return h;
+}
+
+/// Full cache key: global pattern fingerprint + method + leader strategy +
+/// machine/communicator shape.  Only O(1) scalars are mixed in here (this
+/// runs on every locality init); a key collision across communicators with
+/// different membership cannot misroute, because binding a plan validates
+/// the full membership fingerprint baked into it and throws on mismatch.
+std::uint64_t cache_key(std::uint64_t pattern_key, mpix::Method method,
+                        bool lpt, const simmpi::Comm& comm) {
+  std::uint64_t h = fnv_mix(pattern_key, static_cast<std::uint64_t>(method));
+  h = fnv_mix(h, lpt ? 1 : 0);
+  const auto& machine = comm.engine().machine();
+  h = fnv_mix(h, static_cast<std::uint64_t>(machine.num_ranks()));
+  h = fnv_mix(h, static_cast<std::uint64_t>(machine.ranks_per_region()));
+  h = fnv_mix(h, static_cast<std::uint64_t>(machine.ranks_per_node()));
+  h = fnv_mix(h, static_cast<std::uint64_t>(comm.size()));
+  return h;
+}
+
 }  // namespace
+
+std::shared_ptr<const mpix::LocalityPlan> PlanCache::find(std::uint64_t key,
+                                                          int rank) {
+  auto it = plans_.find({key, rank});
+  if (it == plans_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void PlanCache::put(std::uint64_t key, int rank,
+                    std::shared_ptr<const mpix::LocalityPlan> plan) {
+  if (plan) plans_[{key, rank}] = std::move(plan);
+}
+
+std::uint64_t pattern_fingerprint(const sparse::Halo& halo) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  h = fnv_mix(h, halo.ranks.size());
+  for (const sparse::RankHalo& r : halo.ranks) {
+    h = fnv_mix_vec(h, r.recv_ranks);
+    h = fnv_mix_vec(h, r.recv_counts);
+    h = fnv_mix_vec(h, r.send_ranks);
+    h = fnv_mix_vec(h, r.send_counts);
+    h = fnv_mix_vec(h, r.send_idx);
+    h = fnv_mix_vec(h, r.send_gids);
+    h = fnv_mix_vec(h, r.recv_gids);
+  }
+  return h;
+}
 
 Task<std::unique_ptr<HaloExchange>> make_halo_exchange(
     Context& ctx, Comm comm, Protocol protocol, const sparse::RankHalo& halo,
-    simmpi::GraphAlgo graph_algo, bool lpt_balance) {
+    const ExchangeOptions& opts) {
   if (protocol == Protocol::hypre)
     co_return std::make_unique<HypreExchange>(ctx, comm, halo);
 
@@ -153,26 +231,24 @@ Task<std::unique_ptr<HaloExchange>> make_halo_exchange(
   // Moving `Buffers` afterwards is safe: vector moves transfer the heap
   // storage the spans point into.
   auto buf = std::make_unique<Buffers>(halo);
-  simmpi::DistGraph graph = co_await simmpi::dist_graph_create_adjacent(
-      ctx, comm, buf->sources, buf->destinations, graph_algo);
-  std::unique_ptr<mpix::NeighborAlltoallv> coll;
-  switch (protocol) {
-    case Protocol::neighbor_standard:
-      coll = mpix::neighbor_alltoallv_init_standard(ctx, graph, buf->args());
-      break;
-    case Protocol::neighbor_partial:
-      coll = co_await mpix::neighbor_alltoallv_init_locality(
-          ctx, graph, buf->args(),
-          {.dedup = false, .lpt_balance = lpt_balance});
-      break;
-    case Protocol::neighbor_full:
-      coll = co_await mpix::neighbor_alltoallv_init_locality(
-          ctx, graph, buf->args(),
-          {.dedup = true, .lpt_balance = lpt_balance});
-      break;
-    default:
-      throw simmpi::SimError("make_halo_exchange: bad protocol");
+  const mpix::Method method = method_of(protocol);
+  mpix::Options mopts{.lpt_balance = opts.lpt_balance};
+
+  const bool cacheable = opts.plans && mpix::uses_locality(method);
+  std::uint64_t key = 0;
+  std::shared_ptr<const mpix::LocalityPlan> cached;  // keeps the plan alive
+  if (cacheable) {
+    key = cache_key(opts.pattern_key, method, opts.lpt_balance, comm);
+    cached = opts.plans->find(key, comm.rank());
+    mopts.plan = cached.get();
   }
+
+  simmpi::DistGraph graph = co_await simmpi::dist_graph_create_adjacent(
+      ctx, comm, buf->sources, buf->destinations, opts.graph_algo);
+  std::unique_ptr<mpix::NeighborAlltoallv> coll =
+      co_await mpix::neighbor_alltoallv_init(ctx, graph, buf->args(), method,
+                                             mopts);
+  if (cacheable && !cached) opts.plans->put(key, comm.rank(), coll->plan());
   co_return std::make_unique<NeighborExchange>(std::move(*buf),
                                                std::move(graph),
                                                std::move(coll));

@@ -7,12 +7,25 @@
 ///   * `neighbor_partial` — locality-aware aggregation;
 ///   * `neighbor_full`    — aggregation + duplicate removal.
 ///
+/// The three neighbor protocols map 1:1 onto `mpix::Method`
+/// (`method_of`/`protocol_of`); the dispatch lives entirely in
+/// `mpix::neighbor_alltoallv_init`.
+///
 /// Every backend owns its gathered send buffer and its external-vector
 /// receive buffer (`x_ext`, laid out as col_map_offd), so the SpMV code is
 /// protocol-agnostic: start(x_local) gathers and launches, wait() completes
 /// and exposes x_ext.
+///
+/// A `PlanCache` amortizes locality-aware setup across exchanges: the
+/// first init of a pattern stores its `mpix::LocalityPlan`; later inits of
+/// the same (pattern, method, machine) bind the cached plan without any
+/// setup communication.
 
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <type_traits>
+#include <utility>
 
 #include "mpix/neighbor.hpp"
 #include "sparse/par_csr.hpp"
@@ -27,6 +40,38 @@ enum class Protocol {
   neighbor_full,
 };
 
+inline constexpr Protocol kAllProtocols[] = {
+    Protocol::hypre, Protocol::neighbor_standard, Protocol::neighbor_partial,
+    Protocol::neighbor_full};
+
+/// The mpix method behind a neighbor protocol (1:1).  Throws for
+/// `Protocol::hypre`, which is not a neighborhood collective.
+constexpr mpix::Method method_of(Protocol p) {
+  switch (p) {
+    case Protocol::neighbor_standard: return mpix::Method::standard;
+    case Protocol::neighbor_partial: return mpix::Method::locality;
+    case Protocol::neighbor_full: return mpix::Method::locality_dedup;
+    case Protocol::hypre: break;
+  }
+  throw simmpi::SimError("method_of: Protocol::hypre has no mpix::Method");
+}
+
+/// Inverse of `method_of` (total: every method has a protocol).
+constexpr Protocol protocol_of(mpix::Method m) {
+  switch (m) {
+    case mpix::Method::standard: return Protocol::neighbor_standard;
+    case mpix::Method::locality: return Protocol::neighbor_partial;
+    case mpix::Method::locality_dedup: return Protocol::neighbor_full;
+  }
+  throw simmpi::SimError("protocol_of: invalid mpix::Method");
+}
+
+/// Whether the protocol performs locality-aware aggregation setup (and can
+/// therefore benefit from a PlanCache).
+constexpr bool uses_locality(Protocol p) {
+  return p == Protocol::neighbor_partial || p == Protocol::neighbor_full;
+}
+
 inline const char* to_string(Protocol p) {
   switch (p) {
     case Protocol::hypre: return "Standard Hypre";
@@ -34,12 +79,62 @@ inline const char* to_string(Protocol p) {
     case Protocol::neighbor_partial: return "Partially Optimized Neighbor";
     case Protocol::neighbor_full: return "Fully Optimized Neighbor";
   }
-  return "?";
+  throw simmpi::SimError("to_string: invalid Protocol");
 }
 
-inline constexpr Protocol kAllProtocols[] = {
-    Protocol::hypre, Protocol::neighbor_standard, Protocol::neighbor_partial,
-    Protocol::neighbor_full};
+/// Host-side cache of locality plans, shared by all simulated ranks.
+///
+/// Keys identify the *global* exchange pattern (use `pattern_fingerprint`
+/// on the full `sparse::Halo`), so on any given exchange either every rank
+/// hits or every rank misses — plan construction stays collectively safe.
+/// Plans are engine-free, so a cache may outlive engine runs (benchmark
+/// repetitions) as long as machine shape and communicator membership are
+/// unchanged; `make_halo_exchange` mixes both into the lookup key.  Not
+/// thread-safe (the simulator is single-threaded).
+class PlanCache {
+ public:
+  /// Cached plan of `rank` under `key`, or null.  Counts a hit or a miss.
+  std::shared_ptr<const mpix::LocalityPlan> find(std::uint64_t key, int rank);
+  void put(std::uint64_t key, int rank,
+           std::shared_ptr<const mpix::LocalityPlan> plan);
+
+  long hits() const { return hits_; }
+  long misses() const { return misses_; }
+  std::size_t size() const { return plans_.size(); }
+  void clear() { plans_.clear(); }
+
+ private:
+  std::map<std::pair<std::uint64_t, int>,
+           std::shared_ptr<const mpix::LocalityPlan>>
+      plans_;
+  long hits_ = 0;
+  long misses_ = 0;
+};
+
+/// Order-sensitive fingerprint of a *global* halo pattern (all ranks'
+/// send/recv lists, counts, gather indices and gids).  Identical on every
+/// rank by construction; equal patterns yield equal keys.
+std::uint64_t pattern_fingerprint(const sparse::Halo& halo);
+
+/// Knobs of `make_halo_exchange`.
+struct ExchangeOptions {
+  simmpi::GraphAlgo graph_algo = simmpi::GraphAlgo::handshake;
+  /// Leader-assignment strategy of the locality-aware protocols (see
+  /// mpix::Options; ablation knob).
+  bool lpt_balance = true;
+  /// Optional plan reuse: with `plans` set, locality-aware setup is paid
+  /// once per (pattern_key, protocol, machine) and reused afterwards.
+  /// `pattern_key` must fingerprint the *global* pattern — same value on
+  /// every rank of the exchange (see pattern_fingerprint).
+  PlanCache* plans = nullptr;
+  std::uint64_t pattern_key = 0;
+};
+
+// ExchangeOptions is written as a braced temporary inside co_await'd
+// make_halo_exchange calls; g++ 12 double-destroys such temporaries (see
+// the warning in mpix/neighbor.hpp), which is only harmless while this
+// stays trivially destructible.  Do not add owning members.
+static_assert(std::is_trivially_destructible_v<ExchangeOptions>);
 
 /// A persistent halo exchange bound to one rank's pattern.
 class HaloExchange {
@@ -58,12 +153,8 @@ class HaloExchange {
 /// Build the exchange for `rank`'s halo pattern.  Collective over `comm`
 /// (neighbor protocols create topologies and perform aggregation setup).
 /// The exchange does not keep references to `halo` after init.
-/// `lpt_balance` selects the leader-assignment strategy of the
-/// locality-aware protocols (see mpix::LocalityOptions; ablation knob).
 simmpi::Task<std::unique_ptr<HaloExchange>> make_halo_exchange(
     simmpi::Context& ctx, simmpi::Comm comm, Protocol protocol,
-    const sparse::RankHalo& halo,
-    simmpi::GraphAlgo graph_algo = simmpi::GraphAlgo::handshake,
-    bool lpt_balance = true);
+    const sparse::RankHalo& halo, const ExchangeOptions& opts = {});
 
 }  // namespace harness

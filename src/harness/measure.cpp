@@ -39,6 +39,15 @@ std::vector<LevelMeasurement> measure_protocol(const amg::DistHierarchy& dh,
   std::vector<std::vector<mpix::NeighborStats>> stats(
       nlevels, std::vector<mpix::NeighborStats>(p));
 
+  // Global pattern keys for the optional plan cache, one per level
+  // (host-side, identical for every rank by construction).  Only the
+  // locality-aware protocols consult the cache, so skip the fingerprint
+  // walk for the others.
+  std::vector<std::uint64_t> level_keys(nlevels, 0);
+  if (cfg.plans && uses_locality(protocol))
+    for (int l = 0; l < nlevels; ++l)
+      level_keys[l] = pattern_fingerprint(dh.levels[l].halo);
+
   eng.run([&](Context& ctx) -> Task<> {
     const int r = ctx.rank();
     for (int l = 0; l < nlevels; ++l) {
@@ -51,8 +60,12 @@ std::vector<LevelMeasurement> measure_protocol(const amg::DistHierarchy& dh,
 
       // Init cost: topology creation + collective initialization.
       co_await ctx.engine().sync_reset(ctx);
-      auto ex = co_await make_halo_exchange(ctx, ctx.world(), protocol, halo,
-                                            cfg.graph_algo, cfg.lpt_balance);
+      auto ex = co_await make_halo_exchange(
+          ctx, ctx.world(), protocol, halo,
+          {.graph_algo = cfg.graph_algo,
+           .lpt_balance = cfg.lpt_balance,
+           .plans = cfg.plans,
+           .pattern_key = level_keys[l]});
       init_elapsed[l][r] = ctx.now();
       stats[l][r] = ex->stats();
 

@@ -37,6 +37,11 @@ struct MeasureConfig {
   simmpi::GraphAlgo graph_algo = simmpi::GraphAlgo::handshake;
   bool verify_payload = true;  ///< check delivered halos against truth
   bool lpt_balance = true;     ///< leader assignment (ablation knob)
+  /// Optional locality-plan reuse (see harness::PlanCache): the runners
+  /// key each level's exchanges by the global halo fingerprint, so a solve
+  /// or measurement repeated on the same hierarchy re-binds cached plans
+  /// instead of redoing the aggregation setup communication.
+  PlanCache* plans = nullptr;
 };
 
 /// Measure one protocol across every level of a distributed hierarchy.

@@ -10,6 +10,8 @@ void validate_args(const simmpi::DistGraph& graph, const AlltoallvArgs& args,
                    bool need_idx) {
   const std::size_t nd = graph.destinations.size();
   const std::size_t ns = graph.sources.size();
+  if (args.element_size == 0)
+    throw SimError("neighbor_alltoallv: element_size must be positive");
   if (args.sendcounts.size() != nd || args.sdispls.size() != nd)
     throw SimError("neighbor_alltoallv: send counts/displs size mismatch");
   if (args.recvcounts.size() != ns || args.rdispls.size() != ns)
@@ -17,24 +19,91 @@ void validate_args(const simmpi::DistGraph& graph, const AlltoallvArgs& args,
   for (std::size_t i = 0; i < nd; ++i) {
     if (args.sendcounts[i] < 0 || args.sdispls[i] < 0)
       throw SimError("neighbor_alltoallv: negative send count/displ");
-    if (static_cast<std::size_t>(args.sdispls[i]) + args.sendcounts[i] >
+    if ((static_cast<std::size_t>(args.sdispls[i]) + args.sendcounts[i]) *
+            args.element_size >
         args.sendbuf.size())
-      throw SimError("neighbor_alltoallv: send segment exceeds sendbuf");
+      throw SimError(
+          "neighbor_alltoallv: send segment exceeds sendbuf (check counts "
+          "and element_size)");
   }
   for (std::size_t i = 0; i < ns; ++i) {
     if (args.recvcounts[i] < 0 || args.rdispls[i] < 0)
       throw SimError("neighbor_alltoallv: negative recv count/displ");
-    if (static_cast<std::size_t>(args.rdispls[i]) + args.recvcounts[i] >
+    if ((static_cast<std::size_t>(args.rdispls[i]) + args.recvcounts[i]) *
+            args.element_size >
         args.recvbuf.size())
-      throw SimError("neighbor_alltoallv: recv segment exceeds recvbuf");
+      throw SimError(
+          "neighbor_alltoallv: recv segment exceeds recvbuf (check counts "
+          "and element_size)");
   }
   if (need_idx) {
-    if (args.send_idx.size() < args.sendbuf.size() ||
-        args.recv_idx.size() < args.recvbuf.size())
+    if (args.send_idx.size() < args.send_values() ||
+        args.recv_idx.size() < args.recv_values())
       throw SimError(
           "neighbor_alltoallv: dedup requires send_idx/recv_idx covering "
           "the send/recv buffers");
   }
+}
+
+namespace {
+
+bool same_ints(std::span<const int> a, std::span<const int> b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+bool same_gids(std::span<const gidx> a, std::span<const gidx> b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  h *= 0x100000001b3ull;
+  h ^= h >> 29;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t binding_fingerprint(const simmpi::Comm& comm,
+                                  const simmpi::Machine& machine) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  h = fnv_mix(h, static_cast<std::uint64_t>(comm.size()));
+  h = fnv_mix(h, static_cast<std::uint64_t>(machine.ranks_per_region()));
+  h = fnv_mix(h, static_cast<std::uint64_t>(machine.num_ranks()));
+  for (int m : comm.members()) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(m));
+    h = fnv_mix(h, static_cast<std::uint64_t>(machine.region_of(m)));
+  }
+  return h;
+}
+
+void validate_plan_args(const LocalityPlan& plan,
+                        const simmpi::DistGraph& graph,
+                        const AlltoallvArgs& args) {
+  validate_args(graph, args, plan.dedup);
+  if (plan.binding_fingerprint != 0 &&
+      plan.binding_fingerprint !=
+          binding_fingerprint(graph.comm,
+                              graph.comm.engine().machine()))
+    throw SimError(
+        "neighbor_alltoallv: plan was built for a different communicator or "
+        "machine shape");
+  if (!same_ints(graph.destinations, plan.destinations) ||
+      !same_ints(graph.sources, plan.sources))
+    throw SimError(
+        "neighbor_alltoallv: plan was built for a different graph adjacency");
+  if (!same_ints(args.sendcounts, plan.sendcounts) ||
+      !same_ints(args.sdispls, plan.sdispls) ||
+      !same_ints(args.recvcounts, plan.recvcounts) ||
+      !same_ints(args.rdispls, plan.rdispls))
+    throw SimError(
+        "neighbor_alltoallv: plan was built for different counts/displs");
+  if (plan.dedup &&
+      (!same_gids(args.send_idx.first(args.send_values()), plan.send_idx) ||
+       !same_gids(args.recv_idx.first(args.recv_values()), plan.recv_idx)))
+    throw SimError(
+        "neighbor_alltoallv: dedup plan was built for different "
+        "send_idx/recv_idx annotations");
 }
 
 std::vector<long long> serialize_edges(const simmpi::DistGraph& graph,

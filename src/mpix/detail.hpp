@@ -14,10 +14,26 @@
 
 namespace mpix::detail {
 
-/// Validate counts/displacements against the graph and buffers; with
-/// `need_idx`, also require send_idx/recv_idx covering the buffers.
+/// Validate counts/displacements against the graph and buffers (in values,
+/// scaled by `args.element_size`); with `need_idx`, also require
+/// send_idx/recv_idx covering the buffers.
 void validate_args(const simmpi::DistGraph& graph, const AlltoallvArgs& args,
                    bool need_idx);
+
+/// Fingerprint of a communicator's membership and the machine's region
+/// layout over it — what a LocalityPlan's comm-local peer ranks are only
+/// valid against (see LocalityPlan::binding_fingerprint).
+std::uint64_t binding_fingerprint(const simmpi::Comm& comm,
+                                  const simmpi::Machine& machine);
+
+/// Validate that `args` carries the exact pattern `plan` was built for
+/// (adjacency, counts, displacements, and — for dedup plans — the index
+/// annotations the routing depends on), and that the graph's communicator
+/// and machine match the plan's binding fingerprint (skipped when the plan
+/// carries none).  Throws SimError on any mismatch.
+void validate_plan_args(const LocalityPlan& plan,
+                        const simmpi::DistGraph& graph,
+                        const AlltoallvArgs& args);
 
 /// One directed traffic edge between comm-local ranks, as shared inside a
 /// region during setup.

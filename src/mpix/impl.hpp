@@ -1,0 +1,36 @@
+#pragma once
+/// \file impl.hpp
+/// \brief Internal factories behind the public `neighbor_alltoallv_init`
+/// dispatcher (init.cpp).  Not part of the mpix API.
+
+#include <memory>
+
+#include "mpix/neighbor.hpp"
+
+namespace mpix::impl {
+
+/// Coroutine behind the public `make_locality_plan` wrapper.  Takes the
+/// pattern by value so the frame owns it for the plan build's lifetime.
+///
+/// The public entry points are deliberately *plain* functions delegating
+/// to internal coroutines: g++ 12 miscompiles by-value coroutine
+/// parameters initialized from a user-defined conversion at the call site
+/// (the `AlltoallvArgsT<T>` -> `AlltoallvArgs` conversion every typed
+/// caller performs), double-destroying the converted temporary.  A regular
+/// call boundary sidesteps the bug for every caller.
+simmpi::Task<std::shared_ptr<const LocalityPlan>> build_locality_plan(
+    simmpi::Context& ctx, const simmpi::DistGraph& graph, AlltoallvArgs args,
+    Method method, Options opts);
+
+/// Standard method: persistent point-to-point wrap.  Purely local setup.
+std::unique_ptr<NeighborAlltoallv> make_standard(simmpi::Context& ctx,
+                                                 const simmpi::DistGraph& graph,
+                                                 AlltoallvArgs args);
+
+/// Locality methods: bind buffers and channels to a finished plan.  Purely
+/// local — all setup communication already happened in make_locality_plan.
+std::unique_ptr<NeighborAlltoallv> bind_locality(
+    simmpi::Context& ctx, const simmpi::DistGraph& graph, AlltoallvArgs args,
+    std::shared_ptr<const LocalityPlan> plan, const Options& opts);
+
+}  // namespace mpix::impl

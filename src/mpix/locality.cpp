@@ -9,17 +9,26 @@
 ///       pair, from the sending leader to the receiving leader;
 ///   r — final redistribution from the receiving leader to destinations.
 ///
-/// All routing (gather/scatter index maps, staging layouts, leader
-/// assignments) is computed once at init from metadata shared inside each
-/// region plus a root-to-root handshake, then start/wait only move payload.
-/// With `LocalityOptions::dedup`, values carrying the same user-supplied
-/// index cross each region boundary once (Section 3.3).
+/// The implementation is split in two halves matching the public API:
+///
+///  * `make_locality_plan` (collective) computes every routing decision —
+///    gather/scatter index maps, staging layouts, leader assignments — from
+///    metadata shared inside each region plus a root-to-root handshake, and
+///    stores them in a buffer-free `LocalityPlan`;
+///  * `impl::bind_locality` (purely local) attaches payload buffers and
+///    fresh message channels to a plan, scaling all value offsets by the
+///    arguments' `element_size`.
+///
+/// start/wait only move payload.  With `Method::locality_dedup`, values
+/// carrying the same user-supplied index cross each region boundary once
+/// (Section 3.3).
 
+#include <cstring>
 #include <map>
 #include <numeric>
 
 #include "mpix/detail.hpp"
-#include "mpix/neighbor.hpp"
+#include "mpix/impl.hpp"
 
 namespace mpix {
 
@@ -34,56 +43,65 @@ using simmpi::Context;
 using simmpi::Request;
 using simmpi::Task;
 
-/// A planned message with persistent staging buffer and index maps.
-struct PlanMsg {
-  int peer = -1;  ///< comm-local rank
-  std::vector<int> gather;  ///< sends: source-array position per value
-  std::vector<int> scatter_src;  ///< recvs: payload position
-  std::vector<int> scatter_dst;  ///< recvs: destination-array position
-  std::vector<double> buf;
+/// A staged message bound to its persistent buffer and channel.  The index
+/// maps live in the (shared) plan; `buf` holds `element_size`-sized values.
+struct BoundGather {
+  std::span<const int> gather;  ///< source-array value position per value
+  std::vector<std::byte> buf;
+  Request req;
+};
+struct BoundScatter {
+  std::span<const int> scatter_src;  ///< payload value position
+  std::span<const int> scatter_dst;  ///< destination-array value position
+  std::vector<std::byte> buf;
   Request req;
 };
 
-/// Direct copy plan for data whose "leader" is this rank itself.
-struct SelfCopy {
-  std::vector<int> src;
-  std::vector<int> dst;
-};
-
-void gather_into(std::span<const double> src, PlanMsg& m) {
-  for (std::size_t i = 0; i < m.gather.size(); ++i) m.buf[i] = src[m.gather[i]];
+void gather_into(std::span<const std::byte> src, std::size_t es,
+                 std::span<const int> idx, std::span<std::byte> out) {
+  for (std::size_t k = 0; k < idx.size(); ++k)
+    std::memcpy(out.data() + k * es, src.data() + idx[k] * es, es);
 }
 
-void scatter_from(const PlanMsg& m, std::span<double> dst) {
-  for (std::size_t k = 0; k < m.scatter_dst.size(); ++k)
-    dst[m.scatter_dst[k]] = m.buf[m.scatter_src[k]];
+void scatter_from(std::span<const std::byte> buf, std::size_t es,
+                  std::span<const int> src, std::span<const int> dst,
+                  std::span<std::byte> out) {
+  for (std::size_t k = 0; k < dst.size(); ++k)
+    std::memcpy(out.data() + dst[k] * es, buf.data() + src[k] * es, es);
+}
+
+void copy_values(std::span<const std::byte> from, std::span<const int> src,
+                 std::span<std::byte> to, std::span<const int> dst,
+                 std::size_t es) {
+  for (std::size_t k = 0; k < src.size(); ++k)
+    std::memcpy(to.data() + dst[k] * es, from.data() + src[k] * es, es);
 }
 
 struct LocalityNeighbor final : NeighborAlltoallv {
   AlltoallvArgs args;
-  bool dedup = false;
-  std::vector<double> s_stage, g_stage;
+  std::shared_ptr<const LocalityPlan> routing;
+  std::vector<std::byte> s_stage, g_stage;
   std::vector<Request> l_sends, l_recvs;  // direct user-buffer p2p
   std::vector<Request> g_sends, g_recvs;  // direct stage-buffer p2p
-  std::vector<PlanMsg> s_sends, s_recvs, r_sends, r_recvs;
-  SelfCopy s_self, r_self;
-  NeighborStats stat;
+  std::vector<BoundGather> s_sends, r_sends;
+  std::vector<BoundScatter> s_recvs, r_recvs;
 
   Task<> start(Context& ctx) override {
+    const std::size_t es = args.element_size;
     // Fully local traffic goes out immediately (Algorithm 5).
     for (auto& r : l_sends) r.start(ctx);
     for (auto& r : l_recvs) r.start(ctx);
     // Initial redistribution: start AND complete before inter-region.
     for (auto& m : s_sends) {
-      gather_into(args.sendbuf, m);
+      gather_into(args.sendbuf, es, m.gather, m.buf);
       m.req.start(ctx);
     }
-    for (std::size_t k = 0; k < s_self.src.size(); ++k)
-      s_stage[s_self.dst[k]] = args.sendbuf[s_self.src[k]];
+    copy_values(args.sendbuf, routing->s_self.src, s_stage,
+                routing->s_self.dst, es);
     for (auto& m : s_recvs) m.req.start(ctx);
     for (auto& m : s_recvs) {
       co_await ctx.wait(m.req);
-      scatter_from(m, s_stage);
+      scatter_from(m.buf, es, m.scatter_src, m.scatter_dst, s_stage);
     }
     for (auto& m : s_sends) co_await ctx.wait(m.req);
     // Inter-region messages.
@@ -93,6 +111,7 @@ struct LocalityNeighbor final : NeighborAlltoallv {
   }
 
   Task<> wait(Context& ctx) override {
+    const std::size_t es = args.element_size;
     // Complete fully local and inter-region traffic (Algorithm 6).
     for (auto& r : l_sends) co_await ctx.wait(r);
     for (auto& r : l_recvs) co_await ctx.wait(r);
@@ -100,23 +119,24 @@ struct LocalityNeighbor final : NeighborAlltoallv {
     for (auto& r : g_sends) co_await ctx.wait(r);
     // Final redistribution.
     for (auto& m : r_sends) {
-      gather_into(g_stage, m);
+      gather_into(g_stage, es, m.gather, m.buf);
       m.req.start(ctx);
     }
-    for (std::size_t k = 0; k < r_self.src.size(); ++k)
-      args.recvbuf[r_self.dst[k]] = g_stage[r_self.src[k]];
+    copy_values(g_stage, routing->r_self.src, args.recvbuf,
+                routing->r_self.dst, es);
     for (auto& m : r_recvs) m.req.start(ctx);
     for (auto& m : r_recvs) {
       co_await ctx.wait(m.req);
-      scatter_from(m, args.recvbuf);
+      scatter_from(m.buf, es, m.scatter_src, m.scatter_dst, args.recvbuf);
     }
     for (auto& m : r_sends) co_await ctx.wait(m.req);
   }
 
-  NeighborStats stats() const override { return stat; }
+  NeighborStats stats() const override { return routing->stats; }
   const char* name() const override {
-    return dedup ? "locality+dedup" : "locality";
+    return routing->dedup ? "locality+dedup" : "locality";
   }
+  std::shared_ptr<const LocalityPlan> plan() const override { return routing; }
 };
 
 /// Within-pair value offsets (in canonical enumeration order) of `src`'s
@@ -141,17 +161,34 @@ std::vector<long> src_item_offsets(const PairLayout& lay,
 
 }  // namespace
 
-Task<std::unique_ptr<NeighborAlltoallv>> neighbor_alltoallv_init_locality(
+Task<std::shared_ptr<const LocalityPlan>> impl::build_locality_plan(
     Context& ctx, const simmpi::DistGraph& graph, AlltoallvArgs args,
-    LocalityOptions opts) {
-  const bool dedup = opts.dedup;
+    Method method, Options opts) {
+  if (!uses_locality(method))
+    throw simmpi::SimError(
+        "make_locality_plan: Method::standard has no locality plan");
+  const bool dedup = needs_idx(method);
   detail::validate_args(graph, args, dedup);
   const Comm& comm = graph.comm;
   const auto& machine = ctx.engine().machine();
 
-  auto obj = std::make_unique<LocalityNeighbor>();
-  obj->args = args;
-  obj->dedup = dedup;
+  auto plan = std::make_shared<LocalityPlan>();
+  plan->dedup = dedup;
+  plan->lpt_balance = opts.lpt_balance;
+  plan->setup_compute_per_word = opts.setup_compute_per_word;
+  plan->binding_fingerprint = detail::binding_fingerprint(comm, machine);
+  plan->destinations = graph.destinations;
+  plan->sources = graph.sources;
+  plan->sendcounts = args.sendcounts;
+  plan->sdispls = args.sdispls;
+  plan->recvcounts = args.recvcounts;
+  plan->rdispls = args.rdispls;
+  if (dedup) {
+    auto si = args.send_idx.first(args.send_values());
+    auto ri = args.recv_idx.first(args.recv_values());
+    plan->send_idx.assign(si.begin(), si.end());
+    plan->recv_idx.assign(ri.begin(), ri.end());
+  }
 
   const int me = comm.rank();
   auto region_of = [&](int local) {
@@ -159,10 +196,6 @@ Task<std::unique_ptr<NeighborAlltoallv>> neighbor_alltoallv_init_locality(
   };
   const int my_region = region_of(me);
 
-  const int tag_l = ctx.engine().next_coll_tag(comm);
-  const int tag_s = ctx.engine().next_coll_tag(comm);
-  const int tag_g = ctx.engine().next_coll_tag(comm);
-  const int tag_r = ctx.engine().next_coll_tag(comm);
   const int tag_hs = ctx.engine().next_coll_tag(comm);
 
   // ---- l phase: straight from this rank's own arguments ------------------
@@ -175,17 +208,14 @@ Task<std::unique_ptr<NeighborAlltoallv>> neighbor_alltoallv_init_locality(
   for (std::size_t i = 0; i < graph.destinations.size(); ++i) {
     const int d = graph.destinations[i];
     if (region_of(d) != my_region) continue;
-    auto seg = args.sendbuf.subspan(args.sdispls[i], args.sendcounts[i]);
-    obj->l_sends.push_back(Request::send(comm, std::as_bytes(seg), d, tag_l));
-    ++obj->stat.local_msgs;
-    obj->stat.local_values += args.sendcounts[i];
+    plan->l_sends.push_back({d, args.sdispls[i], args.sendcounts[i]});
+    ++plan->stats.local_msgs;
+    plan->stats.local_values += args.sendcounts[i];
   }
   for (std::size_t i = 0; i < graph.sources.size(); ++i) {
     const int s = graph.sources[i];
     if (region_of(s) != my_region) continue;
-    auto seg = args.recvbuf.subspan(args.rdispls[i], args.recvcounts[i]);
-    obj->l_recvs.push_back(
-        Request::recv(comm, std::as_writable_bytes(seg), s, tag_l));
+    plan->l_recvs.push_back({s, args.rdispls[i], args.recvcounts[i]});
   }
 
   // ---- metadata exchange within the region --------------------------------
@@ -315,27 +345,21 @@ Task<std::unique_ptr<NeighborAlltoallv>> neighbor_alltoallv_init_locality(
     g_block_off[rr] = g_total;
     g_total += in_layout[rr].total;
   }
-  obj->s_stage.resize(s_total);
-  obj->g_stage.resize(g_total);
+  plan->s_stage_values = s_total;
+  plan->g_stage_values = g_total;
 
   // ---- g phase --------------------------------------------------------------
   for (int q : my_out_qs) {
-    auto seg = std::span<double>(obj->s_stage)
-                   .subspan(s_block_off[q], out_layout[q].total);
-    obj->g_sends.push_back(Request::send(
-        comm, std::as_bytes(std::span<const double>(seg)), g_dst_leader.at(q),
-        tag_g));
-    ++obj->stat.global_msgs;
-    obj->stat.global_values += out_layout[q].total;
-    obj->stat.max_global_msg_values =
-        std::max(obj->stat.max_global_msg_values, out_layout[q].total);
+    plan->g_sends.push_back(
+        {g_dst_leader.at(q), s_block_off[q], out_layout[q].total});
+    ++plan->stats.global_msgs;
+    plan->stats.global_values += out_layout[q].total;
+    plan->stats.max_global_msg_values =
+        std::max(plan->stats.max_global_msg_values, out_layout[q].total);
   }
-  for (int rr : my_in_rs) {
-    auto seg = std::span<double>(obj->g_stage)
-                   .subspan(g_block_off[rr], in_layout[rr].total);
-    obj->g_recvs.push_back(Request::recv(comm, std::as_writable_bytes(seg),
-                                         g_src_leader.at(rr), tag_g));
-  }
+  for (int rr : my_in_rs)
+    plan->g_recvs.push_back(
+        {g_src_leader.at(rr), g_block_off[rr], in_layout[rr].total});
 
   // ---- s phase: source side --------------------------------------------------
   for (int L = 0; L < nlocal; ++L) {
@@ -371,20 +395,12 @@ Task<std::unique_ptr<NeighborAlltoallv>> neighbor_alltoallv_init_locality(
     }
     if (gather.empty()) continue;
     if (L == my_core) {
-      obj->s_self.src = std::move(gather);
-      obj->s_self.dst = std::move(self_dst);
+      plan->s_self.src = std::move(gather);
+      plan->s_self.dst = std::move(self_dst);
     } else {
-      PlanMsg m;
-      m.peer = core_to_local(L);
-      m.gather = std::move(gather);
-      m.buf.resize(m.gather.size());
-      m.req = Request::send(
-          comm,
-          std::as_bytes(std::span<const double>(m.buf.data(), m.buf.size())),
-          m.peer, tag_s);
-      ++obj->stat.local_msgs;
-      obj->stat.local_values += static_cast<long>(m.gather.size());
-      obj->s_sends.push_back(std::move(m));
+      ++plan->stats.local_msgs;
+      plan->stats.local_values += static_cast<long>(gather.size());
+      plan->s_sends.push_back({core_to_local(L), std::move(gather)});
     }
   }
 
@@ -399,16 +415,13 @@ Task<std::unique_ptr<NeighborAlltoallv>> neighbor_alltoallv_init_locality(
              src_item_offsets(out_layout.at(q), out_pairs.at(q), src, dedup))
           sc_dst.push_back(static_cast<int>(s_block_off.at(q) + off));
       if (sc_dst.empty()) continue;
-      PlanMsg m;
+      LocalityPlan::ScatterMsg m;
       m.peer = src;
+      m.values = static_cast<int>(sc_dst.size());
       m.scatter_dst = std::move(sc_dst);
       m.scatter_src.resize(m.scatter_dst.size());
       std::iota(m.scatter_src.begin(), m.scatter_src.end(), 0);
-      m.buf.resize(m.scatter_dst.size());
-      m.req = Request::recv(
-          comm, std::as_writable_bytes(std::span<double>(m.buf)), m.peer,
-          tag_s);
-      obj->s_recvs.push_back(std::move(m));
+      plan->s_recvs.push_back(std::move(m));
     }
   }
 
@@ -438,17 +451,9 @@ Task<std::unique_ptr<NeighborAlltoallv>> neighbor_alltoallv_init_locality(
       if (d == me) {
         self_vals = std::move(gather);
       } else {
-        PlanMsg m;
-        m.peer = d;
-        m.gather = std::move(gather);
-        m.buf.resize(m.gather.size());
-        m.req = Request::send(
-            comm,
-            std::as_bytes(std::span<const double>(m.buf.data(), m.buf.size())),
-            m.peer, tag_r);
-        ++obj->stat.local_msgs;
-        obj->stat.local_values += static_cast<long>(m.gather.size());
-        obj->r_sends.push_back(std::move(m));
+        ++plan->stats.local_msgs;
+        plan->stats.local_values += static_cast<long>(gather.size());
+        plan->r_sends.push_back({d, std::move(gather)});
       }
     }
   }
@@ -483,29 +488,94 @@ Task<std::unique_ptr<NeighborAlltoallv>> neighbor_alltoallv_init_locality(
     if (core == my_core) {
       // I am my own in-leader: resolve through the value list computed on
       // the leader side.
-      obj->r_self.src.resize(sc_dst.size());
-      obj->r_self.dst = sc_dst;
+      plan->r_self.src.resize(sc_dst.size());
+      plan->r_self.dst = sc_dst;
       for (std::size_t k = 0; k < sc_dst.size(); ++k)
-        obj->r_self.src[k] = self_vals[sc_src[k]];
+        plan->r_self.src[k] = self_vals[sc_src[k]];
     } else {
-      PlanMsg m;
+      LocalityPlan::ScatterMsg m;
       m.peer = core_to_local(core);
+      m.values = value_pos;
       m.scatter_src = std::move(sc_src);
       m.scatter_dst = std::move(sc_dst);
-      m.buf.resize(value_pos);
-      m.req = Request::recv(
-          comm, std::as_writable_bytes(std::span<double>(m.buf)), m.peer,
-          tag_r);
-      obj->r_recvs.push_back(std::move(m));
+      plan->r_recvs.push_back(std::move(m));
     }
   }
 
-  // Charge the plan-construction work (index map building) to this rank.
+  // Charge the routing computation (index map building) to this rank.
   ctx.compute(opts.setup_compute_per_word *
               static_cast<double>(s_total + g_total + out_edges.size() +
                                   in_edges.size() + nlocal));
-  (void)tag_l;
-  co_return std::unique_ptr<NeighborAlltoallv>(std::move(obj));
+  co_return plan;
+}
+
+std::unique_ptr<NeighborAlltoallv> impl::bind_locality(
+    Context& ctx, const simmpi::DistGraph& graph, AlltoallvArgs args,
+    std::shared_ptr<const LocalityPlan> plan, const Options& opts) {
+  (void)opts;  // binding derives everything from the plan and the args
+  detail::validate_plan_args(*plan, graph, args);
+  const Comm& comm = graph.comm;
+  const std::size_t es = args.element_size;
+  const LocalityPlan& p = *plan;
+
+  auto obj = std::make_unique<LocalityNeighbor>();
+  obj->args = std::move(args);
+  obj->routing = plan;
+  obj->s_stage.resize(p.s_stage_values * es);
+  obj->g_stage.resize(p.g_stage_values * es);
+
+  const int tag_l = ctx.engine().next_coll_tag(comm);
+  const int tag_s = ctx.engine().next_coll_tag(comm);
+  const int tag_g = ctx.engine().next_coll_tag(comm);
+  const int tag_r = ctx.engine().next_coll_tag(comm);
+
+  for (const auto& m : p.l_sends)
+    obj->l_sends.push_back(Request::send(
+        comm, obj->args.sendbuf.subspan(m.displ * es, m.count * es), m.peer,
+        tag_l));
+  for (const auto& m : p.l_recvs)
+    obj->l_recvs.push_back(Request::recv(
+        comm, obj->args.recvbuf.subspan(m.displ * es, m.count * es), m.peer,
+        tag_l));
+
+  for (const auto& m : p.g_sends)
+    obj->g_sends.push_back(Request::send(
+        comm,
+        std::span<const std::byte>(obj->s_stage)
+            .subspan(m.offset * es, m.count * es),
+        m.peer, tag_g));
+  for (const auto& m : p.g_recvs)
+    obj->g_recvs.push_back(Request::recv(
+        comm,
+        std::span<std::byte>(obj->g_stage).subspan(m.offset * es, m.count * es),
+        m.peer, tag_g));
+
+  auto bind_gather = [&](const LocalityPlan::GatherMsg& m, int tag) {
+    BoundGather b;
+    b.gather = m.gather;
+    b.buf.resize(m.gather.size() * es);
+    b.req = Request::send(comm, std::span<const std::byte>(b.buf), m.peer, tag);
+    return b;
+  };
+  auto bind_scatter = [&](const LocalityPlan::ScatterMsg& m, int tag) {
+    BoundScatter b;
+    b.scatter_src = m.scatter_src;
+    b.scatter_dst = m.scatter_dst;
+    b.buf.resize(static_cast<std::size_t>(m.values) * es);
+    b.req = Request::recv(comm, std::span<std::byte>(b.buf), m.peer, tag);
+    return b;
+  };
+  for (const auto& m : p.s_sends) obj->s_sends.push_back(bind_gather(m, tag_s));
+  for (const auto& m : p.s_recvs)
+    obj->s_recvs.push_back(bind_scatter(m, tag_s));
+  for (const auto& m : p.r_sends) obj->r_sends.push_back(bind_gather(m, tag_r));
+  for (const auto& m : p.r_recvs)
+    obj->r_recvs.push_back(bind_scatter(m, tag_r));
+
+  // Charge the buffer binding work (staging allocation + channel setup).
+  ctx.compute(p.setup_compute_per_word *
+              static_cast<double>(p.s_stage_values + p.g_stage_values));
+  return obj;
 }
 
 }  // namespace mpix

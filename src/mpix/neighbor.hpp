@@ -3,26 +3,44 @@
 /// \brief Persistent neighborhood all-to-all-v collectives (the paper's core).
 ///
 /// This is the reproduction of MPI Advance's persistent
-/// `MPIX_Neighbor_alltoallv_init` in three flavours:
+/// `MPIX_Neighbor_alltoallv_init`.  One entry point,
+/// `neighbor_alltoallv_init`, dispatches over `Method`:
 ///
-///  * **standard** — wraps persistent point-to-point messages, one per
+///  * `Method::standard` — wraps persistent point-to-point messages, one per
 ///    neighbor (paper Algorithms 1-3, Section 3.1);
-///  * **locality-aware** ("partially optimized") — three-step aggregation:
+///  * `Method::locality` ("partially optimized") — three-step aggregation:
 ///    traffic toward each remote region is funneled through one local
 ///    leader per destination region, crossing the region boundary as a
 ///    single message (Algorithms 4-6, Section 3.2);
-///  * **locality-aware + dedup** ("fully optimized") — an API extension
+///  * `Method::locality_dedup` ("fully optimized") — an API extension
 ///    passes a unique index per value (`send_idx`/`recv_idx`); values bound
 ///    for several ranks of the same remote region then cross the boundary
 ///    once (Section 3.3).
 ///
-/// Lifecycle mirrors the MPI 4 persistent API: `*_init` once (all setup and
+/// Payloads are datatype-generic, mirroring `MPI_Datatype` extents: the core
+/// `AlltoallvArgs` carries raw bytes plus an `element_size`, and the typed
+/// wrapper `AlltoallvArgsT<T>` converts any trivially copyable value type.
+/// Counts and displacements are always in *values*, as in MPI.
+///
+/// Lifecycle mirrors the MPI 4 persistent API: init once (all setup and
 /// load balancing is paid here and amortized), then `start`/`wait` per
 /// iteration.  Buffers are bound at init and must outlive the collective;
 /// `start` reads the current `sendbuf`, `wait` fills `recvbuf`.
+///
+/// The locality-aware methods split init into two halves: a buffer-free
+/// `LocalityPlan` (all setup *communication* — region metadata gather,
+/// leader load balancing, root handshake — and all routing computation),
+/// and a purely local binding step that attaches buffers and channels.
+/// `neighbor_alltoallv_init` builds the plan on demand; passing a
+/// previously built plan through `Options::plan` makes init entirely
+/// communication-free, so a hierarchy (or a benchmark loop) that re-inits
+/// the same halo pattern pays the setup cost once.
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "simmpi/dist_graph.hpp"
@@ -32,26 +50,96 @@ namespace mpix {
 
 using gidx = long long;  ///< global value index (paper's API extension)
 
-/// Standard MPI_Neighbor_alltoallv_init arguments (doubles payload).
+/// Datatype-generic MPI_Neighbor_alltoallv_init arguments.  The payload is
+/// a byte span holding `sendbuf.size() / element_size` values of
+/// `element_size` bytes each (the simulated `MPI_Datatype` extent).
 /// Counts/displacements are in *values*; `sdispls[i]` locates the segment
 /// of `sendbuf` bound for `graph.destinations[i]`, `rdispls[i]` the segment
-/// of `recvbuf` arriving from `graph.sources[i]`.
+/// of `recvbuf` arriving from `graph.sources[i]`.  Prefer building through
+/// `AlltoallvArgsT<T>` unless the element size is only known at runtime.
 struct AlltoallvArgs {
-  std::span<const double> sendbuf;
+  std::span<const std::byte> sendbuf;
   std::vector<int> sendcounts;
   std::vector<int> sdispls;
-  std::span<double> recvbuf;
+  std::span<std::byte> recvbuf;
   std::vector<int> recvcounts;
   std::vector<int> rdispls;
+  std::size_t element_size = sizeof(double);  ///< bytes per value
 
   /// Optional unique indices (required for the dedup variant): send_idx[k]
-  /// identifies the value at sendbuf[k]; recv_idx[k] the value expected at
-  /// recvbuf[k].  Two sendbuf positions with equal send_idx must hold equal
-  /// values, and the k-th value of a (src, dst) segment must carry the same
-  /// index on both sides.
+  /// identifies the value at position k of `sendbuf`; recv_idx[k] the value
+  /// expected at position k of `recvbuf`.  Two sendbuf positions with equal
+  /// send_idx must hold equal values, and the k-th value of a (src, dst)
+  /// segment must carry the same index on both sides.
   std::span<const gidx> send_idx{};
   std::span<const gidx> recv_idx{};
+
+  /// Number of values in the send / receive buffer.
+  std::size_t send_values() const { return sendbuf.size() / element_size; }
+  std::size_t recv_values() const { return recvbuf.size() / element_size; }
 };
+
+/// Typed convenience wrapper: the same arguments over `T` payloads.
+/// Converts implicitly to the byte-based `AlltoallvArgs`, so it can be
+/// passed directly to `neighbor_alltoallv_init`.
+template <class T>
+struct AlltoallvArgsT {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "neighbor collectives move raw bytes");
+
+  std::span<const T> sendbuf;
+  std::vector<int> sendcounts;
+  std::vector<int> sdispls;
+  std::span<T> recvbuf;
+  std::vector<int> recvcounts;
+  std::vector<int> rdispls;
+  std::span<const gidx> send_idx{};
+  std::span<const gidx> recv_idx{};
+
+  /// Byte view with `element_size = sizeof(T)`.
+  operator AlltoallvArgs() const& {
+    return AlltoallvArgs{.sendbuf = std::as_bytes(sendbuf),
+                         .sendcounts = sendcounts,
+                         .sdispls = sdispls,
+                         .recvbuf = std::as_writable_bytes(recvbuf),
+                         .recvcounts = recvcounts,
+                         .rdispls = rdispls,
+                         .element_size = sizeof(T),
+                         .send_idx = send_idx,
+                         .recv_idx = recv_idx};
+  }
+  operator AlltoallvArgs() && {
+    return AlltoallvArgs{.sendbuf = std::as_bytes(sendbuf),
+                         .sendcounts = std::move(sendcounts),
+                         .sdispls = std::move(sdispls),
+                         .recvbuf = std::as_writable_bytes(recvbuf),
+                         .recvcounts = std::move(recvcounts),
+                         .rdispls = std::move(rdispls),
+                         .element_size = sizeof(T),
+                         .send_idx = send_idx,
+                         .recv_idx = recv_idx};
+  }
+};
+
+/// The three implementations of the paper, selected at init.
+enum class Method {
+  standard,        ///< persistent point-to-point wrap (Section 3.1)
+  locality,        ///< locality-aware aggregation (Section 3.2)
+  locality_dedup,  ///< aggregation + duplicate removal (Section 3.3)
+};
+
+inline constexpr Method kAllMethods[] = {Method::standard, Method::locality,
+                                         Method::locality_dedup};
+
+/// Whether the method routes traffic through region leaders (and therefore
+/// performs collective setup / uses a LocalityPlan).
+constexpr bool uses_locality(Method m) { return m != Method::standard; }
+
+/// Whether the method requires `send_idx`/`recv_idx` annotations.
+constexpr bool needs_idx(Method m) { return m == Method::locality_dedup; }
+
+/// Human-readable method name ("standard", "locality", "locality+dedup").
+const char* to_string(Method m);
 
 /// Per-rank message statistics of one collective instance (sender side),
 /// feeding Figures 8-10.  "local" = intra-region tiers, "global" =
@@ -67,6 +155,86 @@ struct NeighborStats {
   long max_global_msg_values = 0;
 };
 
+/// The reusable, buffer-free half of locality-aware init: every routing
+/// decision for one (pattern, machine, method) combination — leader
+/// assignments resolved into per-message peers, gather/scatter index maps,
+/// staging layouts, message statistics.  Building it is collective (region
+/// metadata allgather, root handshake); binding buffers to it is purely
+/// local, so a plan built once can be reused by every later init on the
+/// same pattern — across element sizes, buffer instances, and even engine
+/// runs, as long as the communicator membership and machine shape match.
+///
+/// All offsets are in *values*; binding scales them by
+/// `AlltoallvArgs::element_size`.  Treat instances as immutable
+/// (`neighbor_alltoallv_init` holds them by shared_ptr-to-const; plans fed
+/// back through `Options::plan` must originate from `make_locality_plan`
+/// or `NeighborAlltoallv::plan`, which always own them that way).
+struct LocalityPlan : std::enable_shared_from_this<LocalityPlan> {
+  bool dedup = false;
+  bool lpt_balance = true;
+  double setup_compute_per_word = 1.5e-9;  ///< from the Options at build time
+
+  /// Fingerprint of the (communicator membership, machine region layout)
+  /// the plan's comm-local peers were resolved against.  Binding validates
+  /// it, so a plan cannot silently be reused on a different communicator
+  /// or machine shape whose adjacency happens to match.  0 = unchecked
+  /// (hand-built plans in unit tests).
+  std::uint64_t binding_fingerprint = 0;
+
+  /// The pattern the plan was built for, kept so init can reject
+  /// incompatible arguments.  For dedup plans the routing depends on the
+  /// index annotations, so those are part of the pattern.
+  std::vector<int> destinations, sources;
+  std::vector<int> sendcounts, sdispls, recvcounts, rdispls;
+  std::vector<gidx> send_idx, recv_idx;
+
+  /// Fully local traffic: direct user-buffer p2p (value displ/count).
+  struct DirectMsg {
+    int peer = -1;  ///< comm-local rank
+    int displ = 0;
+    int count = 0;
+  };
+  std::vector<DirectMsg> l_sends, l_recvs;
+
+  /// Staged send: gather[k] is the source-buffer value position of the
+  /// k-th value of the message.
+  struct GatherMsg {
+    int peer = -1;
+    std::vector<int> gather;
+  };
+  /// Staged receive: value `scatter_src[k]` of the `values`-sized payload
+  /// lands at destination-array position `scatter_dst[k]`.
+  struct ScatterMsg {
+    int peer = -1;
+    int values = 0;
+    std::vector<int> scatter_src, scatter_dst;
+  };
+  /// Direct copy for data whose "leader" is the rank itself.
+  struct SelfCopy {
+    std::vector<int> src, dst;
+  };
+
+  std::vector<GatherMsg> s_sends;   ///< initial redistribution, source side
+  std::vector<ScatterMsg> s_recvs;  ///< initial redistribution, leader side
+  SelfCopy s_self;                  ///< sendbuf -> own s_stage
+  std::vector<GatherMsg> r_sends;   ///< final redistribution, leader side
+  std::vector<ScatterMsg> r_recvs;  ///< final redistribution, dest side
+  SelfCopy r_self;                  ///< own g_stage -> recvbuf
+
+  /// One inter-region message per (region pair, direction), over the
+  /// staging buffers (value offset/count).
+  struct StageMsg {
+    int peer = -1;
+    long offset = 0;
+    long count = 0;
+  };
+  std::vector<StageMsg> g_sends, g_recvs;
+  long s_stage_values = 0;  ///< send-side staging buffer size, in values
+  long g_stage_values = 0;  ///< recv-side staging buffer size, in values
+
+  NeighborStats stats;  ///< fixed at plan time (independent of payload)
+};
+
 /// A persistent neighborhood collective (abstract).
 class NeighborAlltoallv {
  public:
@@ -78,31 +246,78 @@ class NeighborAlltoallv {
   /// Message statistics for this rank (fixed at init).
   virtual NeighborStats stats() const = 0;
   virtual const char* name() const = 0;
+  /// The locality plan behind this instance (null for Method::standard).
+  /// Feed it back through Options::plan to re-init on the same pattern
+  /// without any setup communication.
+  virtual std::shared_ptr<const LocalityPlan> plan() const { return nullptr; }
 };
 
-/// Standard implementation: persistent point-to-point wrap (Section 3.1).
-/// Setup is purely local, hence no Task.
-std::unique_ptr<NeighborAlltoallv> neighbor_alltoallv_init_standard(
-    simmpi::Context& ctx, const simmpi::DistGraph& graph, AlltoallvArgs args);
-
-/// Tunable knobs of the locality-aware implementations.
-struct LocalityOptions {
-  bool dedup = false;  ///< remove duplicate inter-region values (Section 3.3)
-  /// Leader assignment strategy: true = longest-processing-time load
-  /// balancing over per-region value counts (default); false = round-robin
-  /// (ablation baseline).
+/// Tunable knobs of `neighbor_alltoallv_init`.
+struct Options {
+  /// Leader assignment strategy of the locality methods: true =
+  /// longest-processing-time load balancing over per-region value counts
+  /// (default); false = round-robin (ablation baseline).
   bool lpt_balance = true;
   /// Modeled CPU cost per metadata word during setup parsing/plan build.
   double setup_compute_per_word = 1.5e-9;
+  /// Reuse a previously built plan (see LocalityPlan): init then performs
+  /// no communication.  Non-owning — the caller keeps the plan alive until
+  /// init returns (the created collective then takes shared ownership).
+  /// The plan must come from make_locality_plan / NeighborAlltoallv::plan
+  /// and match the method, the argument pattern, and the graph adjacency,
+  /// or init throws.  `lpt_balance`/`setup_compute_per_word` are ignored
+  /// on reuse (the plan keeps the values it was built with).
+  const LocalityPlan* plan = nullptr;
 };
 
-/// Locality-aware implementation (Sections 3.2/3.3).  Collective over the
-/// graph's communicator; performs setup communication (region gather, root
-/// handshake), all costs paid once here.
-simmpi::Task<std::unique_ptr<NeighborAlltoallv>>
-neighbor_alltoallv_init_locality(simmpi::Context& ctx,
-                                 const simmpi::DistGraph& graph,
-                                 AlltoallvArgs args,
-                                 LocalityOptions opts = {});
+// Options is frequently written as a braced temporary inside co_await'd
+// init calls; g++ 12 double-destroys such temporaries (see the warning on
+// the typed overloads below), which is only harmless while Options stays
+// trivially destructible.  Do not add owning members.
+static_assert(std::is_trivially_destructible_v<Options>);
+
+/// Build just the locality plan for a pattern (collective over the graph's
+/// communicator; all setup communication happens here).  `args` supplies
+/// the pattern — counts, displacements and index annotations; its payload
+/// spans are never read.  Throws for Method::standard, which has no plan.
+simmpi::Task<std::shared_ptr<const LocalityPlan>> make_locality_plan(
+    simmpi::Context& ctx, const simmpi::DistGraph& graph,
+    const AlltoallvArgs& args, Method method, Options opts = {});
+
+/// Create a persistent neighborhood collective (the paper's
+/// MPIX_Neighbor_alltoallv_init).  Collective over the graph's
+/// communicator for the locality methods unless `opts.plan` is given, in
+/// which case no communication is performed; Method::standard never
+/// communicates during init.
+simmpi::Task<std::unique_ptr<NeighborAlltoallv>> neighbor_alltoallv_init(
+    simmpi::Context& ctx, const simmpi::DistGraph& graph, AlltoallvArgs args,
+    Method method = Method::standard, Options opts = {});
+
+/// Typed-argument overloads, normalizing the wrapper to the byte-based
+/// core inside a plain (non-coroutine) function.
+///
+/// \warning GCC 12 miscompiles a braced-init-list temporary materialized
+/// inside a `co_await` full-expression (its buffers are double-destroyed,
+/// however the callee takes it).  Build the arguments as a *named local*
+/// or return them from a helper function — both are safe and are the
+/// idiom used throughout this repository — instead of writing
+/// `co_await neighbor_alltoallv_init(ctx, g, AlltoallvArgsT<T>{...}, m)`.
+template <class T>
+simmpi::Task<std::unique_ptr<NeighborAlltoallv>> neighbor_alltoallv_init(
+    simmpi::Context& ctx, const simmpi::DistGraph& graph,
+    const AlltoallvArgsT<T>& args, Method method = Method::standard,
+    Options opts = {}) {
+  AlltoallvArgs bytes = args;
+  return neighbor_alltoallv_init(ctx, graph, std::move(bytes), method,
+                                 std::move(opts));
+}
+
+template <class T>
+simmpi::Task<std::shared_ptr<const LocalityPlan>> make_locality_plan(
+    simmpi::Context& ctx, const simmpi::DistGraph& graph,
+    const AlltoallvArgsT<T>& args, Method method, Options opts = {}) {
+  const AlltoallvArgs bytes = args;
+  return make_locality_plan(ctx, graph, bytes, method, std::move(opts));
+}
 
 }  // namespace mpix

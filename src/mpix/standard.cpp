@@ -2,7 +2,7 @@
 /// \brief Standard persistent neighbor alltoallv: p2p wrap (Algorithms 1-3).
 
 #include "mpix/detail.hpp"
-#include "mpix/neighbor.hpp"
+#include "mpix/impl.hpp"
 
 namespace mpix {
 
@@ -19,6 +19,7 @@ class StandardNeighbor final : public NeighborAlltoallv {
       : args_(std::move(args)) {
     detail::validate_args(graph, args_, /*need_idx=*/false);
     const simmpi::Comm& comm = graph.comm;
+    const std::size_t es = args_.element_size;
     const int tag = ctx.engine().next_coll_tag(comm);
     const auto& machine = ctx.engine().machine();
     const int my_region = machine.region_of(comm.global(comm.rank()));
@@ -26,8 +27,9 @@ class StandardNeighbor final : public NeighborAlltoallv {
     sends_.reserve(graph.destinations.size());
     for (std::size_t i = 0; i < graph.destinations.size(); ++i) {
       const int dst = graph.destinations[i];
-      auto seg = args_.sendbuf.subspan(args_.sdispls[i], args_.sendcounts[i]);
-      sends_.push_back(Request::send(comm, std::as_bytes(seg), dst, tag));
+      auto seg =
+          args_.sendbuf.subspan(args_.sdispls[i] * es, args_.sendcounts[i] * es);
+      sends_.push_back(Request::send(comm, seg, dst, tag));
       const bool global = machine.region_of(comm.global(dst)) != my_region;
       if (global) {
         ++stats_.global_msgs;
@@ -42,9 +44,9 @@ class StandardNeighbor final : public NeighborAlltoallv {
     }
     recvs_.reserve(graph.sources.size());
     for (std::size_t i = 0; i < graph.sources.size(); ++i) {
-      auto seg = args_.recvbuf.subspan(args_.rdispls[i], args_.recvcounts[i]);
-      recvs_.push_back(Request::recv(comm, std::as_writable_bytes(seg),
-                                     graph.sources[i], tag));
+      auto seg =
+          args_.recvbuf.subspan(args_.rdispls[i] * es, args_.recvcounts[i] * es);
+      recvs_.push_back(Request::recv(comm, seg, graph.sources[i], tag));
     }
   }
 
@@ -71,8 +73,8 @@ class StandardNeighbor final : public NeighborAlltoallv {
 
 }  // namespace
 
-std::unique_ptr<NeighborAlltoallv> neighbor_alltoallv_init_standard(
-    simmpi::Context& ctx, const simmpi::DistGraph& graph, AlltoallvArgs args) {
+std::unique_ptr<NeighborAlltoallv> impl::make_standard(
+    Context& ctx, const simmpi::DistGraph& graph, AlltoallvArgs args) {
   return std::make_unique<StandardNeighbor>(ctx, graph, std::move(args));
 }
 

@@ -117,8 +117,10 @@ struct RankArgs {
   std::vector<double> sendbuf, recvbuf, expected;
   std::vector<mpix::gidx> send_idx, recv_idx;
 
+  /// Byte-based argument view through the typed wrapper (element_size ==
+  /// sizeof(double)).
   mpix::AlltoallvArgs view() {
-    return mpix::AlltoallvArgs{
+    return mpix::AlltoallvArgsT<double>{
         .sendbuf = sendbuf,
         .sendcounts = sendcounts,
         .sdispls = sdispls,

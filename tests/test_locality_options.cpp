@@ -1,8 +1,8 @@
 /// \file test_locality_options.cpp
-/// \brief LocalityOptions knobs: LPT vs round-robin leader assignment must
+/// \brief Locality-method knobs: LPT vs round-robin leader assignment must
 /// not change delivered payloads (only the per-leader load balance), and
-/// dedup on/off must deliver byte-identical receive buffers on patterns
-/// whose send_idx contains duplicates.
+/// Method::locality vs Method::locality_dedup must deliver byte-identical
+/// receive buffers on patterns whose send_idx contains duplicates.
 
 #include <gtest/gtest.h>
 
@@ -26,7 +26,7 @@ struct RunResult {
 };
 
 RunResult run_locality(int nodes, int rpn, const GlobalPattern& pat,
-                       LocalityOptions opts, int iters = 2) {
+                       Method method, Options opts = {}, int iters = 2) {
   Engine eng(Machine({.num_nodes = nodes, .regions_per_node = 1,
                       .ranks_per_region = rpn}),
              CostParams::lassen());
@@ -39,7 +39,7 @@ RunResult run_locality(int nodes, int rpn, const GlobalPattern& pat,
     DistGraph g = co_await dist_graph_create_adjacent(
         ctx, ctx.world(), a.sources, a.destinations, GraphAlgo::handshake);
     auto proto =
-        co_await neighbor_alltoallv_init_locality(ctx, g, a.view(), opts);
+        co_await neighbor_alltoallv_init(ctx, g, a.view(), method, opts);
     out.stats[r] = proto->stats();
     pattern::verify_stats(out.stats[r]);
     for (int it = 0; it < iters; ++it) {
@@ -97,9 +97,9 @@ TEST(LocalityOptions, LptAndRoundRobinDeliverIdenticalExchanges) {
   for (unsigned seed : {1u, 5u, 9u}) {
     GlobalPattern pat = pattern::random_pattern(24, seed);
     RunResult lpt =
-        run_locality(3, 8, pat, {.dedup = false, .lpt_balance = true});
+        run_locality(3, 8, pat, Method::locality, {.lpt_balance = true});
     RunResult rr =
-        run_locality(3, 8, pat, {.dedup = false, .lpt_balance = false});
+        run_locality(3, 8, pat, Method::locality, {.lpt_balance = false});
     for (int r = 0; r < pat.nranks; ++r)
       EXPECT_TRUE(bytes_equal(lpt.recv[r], rr.recv[r]))
           << "seed " << seed << " rank " << r;
@@ -112,9 +112,9 @@ TEST(LocalityOptions, LptAndRoundRobinDeliverIdenticalExchanges) {
 TEST(LocalityOptions, LptBalancesLeaderLoadBetterThanRoundRobin) {
   GlobalPattern pat = skewed_pattern();
   RunResult lpt =
-      run_locality(4, 2, pat, {.dedup = false, .lpt_balance = true});
+      run_locality(4, 2, pat, Method::locality, {.lpt_balance = true});
   RunResult rr =
-      run_locality(4, 2, pat, {.dedup = false, .lpt_balance = false});
+      run_locality(4, 2, pat, Method::locality, {.lpt_balance = false});
   // Identical totals, different per-leader balance.
   EXPECT_EQ(sum_global_values(lpt.stats), 6);
   EXPECT_EQ(sum_global_values(rr.stats), 6);
@@ -130,9 +130,9 @@ TEST(LocalityOptions, DedupOnOffDeliverByteIdenticalRecvbufs) {
   for (unsigned seed : {2u, 4u, 8u}) {
     GlobalPattern pat = pattern::random_pattern(16, seed);
     RunResult plain =
-        run_locality(4, 4, pat, {.dedup = false, .lpt_balance = true});
+        run_locality(4, 4, pat, Method::locality);
     RunResult dedup =
-        run_locality(4, 4, pat, {.dedup = true, .lpt_balance = true});
+        run_locality(4, 4, pat, Method::locality_dedup);
     for (int r = 0; r < pat.nranks; ++r)
       EXPECT_TRUE(bytes_equal(plain.recv[r], dedup.recv[r]))
           << "seed " << seed << " rank " << r;
@@ -146,9 +146,9 @@ TEST(LocalityOptions, DedupStrictlyReducesDuplicateHeavyTraffic) {
   const int nodes = 4, rpn = 2;
   GlobalPattern pat = duplicate_heavy_pattern(nodes, rpn);
   RunResult plain =
-      run_locality(nodes, rpn, pat, {.dedup = false, .lpt_balance = true});
+      run_locality(nodes, rpn, pat, Method::locality);
   RunResult dedup =
-      run_locality(nodes, rpn, pat, {.dedup = true, .lpt_balance = true});
+      run_locality(nodes, rpn, pat, Method::locality_dedup);
   for (int r = 0; r < pat.nranks; ++r)
     EXPECT_TRUE(bytes_equal(plain.recv[r], dedup.recv[r])) << "rank " << r;
   // Two values copied to both ranks of each of the three remote regions:

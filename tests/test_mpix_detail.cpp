@@ -106,6 +106,148 @@ TEST(PairLayout, DedupNeverLargerThanPartial) {
   EXPECT_EQ(pair_layout(edges, false).total, 7);  // all copies
 }
 
+// ---------------------------------------------------------------------------
+// validate_args error paths.  DistGraph is an aggregate and validate_args
+// only reads adjacency sizes, so no engine is needed.
+// ---------------------------------------------------------------------------
+namespace {
+
+/// One destination (2 values), one source (3 values), double payload.
+struct ArgsFixture {
+  simmpi::DistGraph graph;
+  std::vector<double> sendbuf = std::vector<double>(2);
+  std::vector<double> recvbuf = std::vector<double>(3);
+  std::vector<gidx> send_idx{10, 11};
+  std::vector<gidx> recv_idx{20, 21, 22};
+
+  ArgsFixture() {
+    graph.destinations = {1};
+    graph.sources = {2};
+  }
+
+  AlltoallvArgs args() {
+    return AlltoallvArgsT<double>{.sendbuf = sendbuf,
+                                  .sendcounts = {2},
+                                  .sdispls = {0},
+                                  .recvbuf = recvbuf,
+                                  .recvcounts = {3},
+                                  .rdispls = {0},
+                                  .send_idx = send_idx,
+                                  .recv_idx = recv_idx};
+  }
+};
+
+}  // namespace
+
+TEST(ValidateArgs, AcceptsMatchingPattern) {
+  ArgsFixture f;
+  EXPECT_NO_THROW(validate_args(f.graph, f.args(), /*need_idx=*/false));
+  EXPECT_NO_THROW(validate_args(f.graph, f.args(), /*need_idx=*/true));
+}
+
+TEST(ValidateArgs, RejectsCountAndDisplArityMismatch) {
+  ArgsFixture f;
+  auto a = f.args();
+  a.sendcounts.push_back(1);
+  EXPECT_THROW(validate_args(f.graph, a, false), simmpi::SimError);
+  a = f.args();
+  a.sdispls.clear();
+  EXPECT_THROW(validate_args(f.graph, a, false), simmpi::SimError);
+  a = f.args();
+  a.recvcounts = {3, 1};
+  EXPECT_THROW(validate_args(f.graph, a, false), simmpi::SimError);
+  a = f.args();
+  a.rdispls = {};
+  EXPECT_THROW(validate_args(f.graph, a, false), simmpi::SimError);
+}
+
+TEST(ValidateArgs, RejectsNegativeCountsAndDispls) {
+  ArgsFixture f;
+  auto a = f.args();
+  a.sendcounts[0] = -1;
+  EXPECT_THROW(validate_args(f.graph, a, false), simmpi::SimError);
+  a = f.args();
+  a.sdispls[0] = -2;
+  EXPECT_THROW(validate_args(f.graph, a, false), simmpi::SimError);
+  a = f.args();
+  a.recvcounts[0] = -3;
+  EXPECT_THROW(validate_args(f.graph, a, false), simmpi::SimError);
+  a = f.args();
+  a.rdispls[0] = -1;
+  EXPECT_THROW(validate_args(f.graph, a, false), simmpi::SimError);
+}
+
+TEST(ValidateArgs, RejectsSegmentsExceedingBuffers) {
+  ArgsFixture f;
+  auto a = f.args();
+  a.sendcounts[0] = 3;  // only 2 values in sendbuf
+  EXPECT_THROW(validate_args(f.graph, a, false), simmpi::SimError);
+  a = f.args();
+  a.sdispls[0] = 1;  // displ 1 + count 2 > 2 values
+  EXPECT_THROW(validate_args(f.graph, a, false), simmpi::SimError);
+  a = f.args();
+  a.rdispls[0] = 1;  // displ 1 + count 3 > 3 values
+  EXPECT_THROW(validate_args(f.graph, a, false), simmpi::SimError);
+}
+
+TEST(ValidateArgs, RejectsMismatchedElementSize) {
+  ArgsFixture f;
+  auto a = f.args();
+  // Same byte buffers, but claimed element twice as wide: the declared
+  // segments no longer fit.
+  a.element_size = 2 * sizeof(double);
+  EXPECT_THROW(validate_args(f.graph, a, false), simmpi::SimError);
+  a = f.args();
+  a.element_size = 0;
+  EXPECT_THROW(validate_args(f.graph, a, false), simmpi::SimError);
+  // Narrower elements over the same bytes are fine (buffer over-covers).
+  a = f.args();
+  a.element_size = sizeof(float);
+  EXPECT_NO_THROW(validate_args(f.graph, a, false));
+}
+
+TEST(ValidateArgs, DedupModeRequiresCoveringIndices) {
+  ArgsFixture f;
+  auto a = f.args();
+  a.send_idx = {};
+  EXPECT_THROW(validate_args(f.graph, a, true), simmpi::SimError);
+  EXPECT_NO_THROW(validate_args(f.graph, a, false));  // only dedup needs idx
+  a = f.args();
+  a.recv_idx = a.recv_idx.first(2);  // one value short of recvbuf
+  EXPECT_THROW(validate_args(f.graph, a, true), simmpi::SimError);
+}
+
+TEST(ValidatePlanArgs, RejectsPatternDrift) {
+  ArgsFixture f;
+  // A plan carrying exactly the fixture's pattern.
+  LocalityPlan plan;
+  plan.destinations = f.graph.destinations;
+  plan.sources = f.graph.sources;
+  plan.sendcounts = {2};
+  plan.sdispls = {0};
+  plan.recvcounts = {3};
+  plan.rdispls = {0};
+  EXPECT_NO_THROW(validate_plan_args(plan, f.graph, f.args()));
+
+  auto a = f.args();
+  a.sendcounts = {1};  // fits the buffer, but not the plan
+  EXPECT_THROW(validate_plan_args(plan, f.graph, a), simmpi::SimError);
+
+  simmpi::DistGraph other = f.graph;
+  other.destinations = {3};
+  EXPECT_THROW(validate_plan_args(plan, other, f.args()), simmpi::SimError);
+
+  // Dedup plans additionally pin the index annotations.
+  plan.dedup = true;
+  plan.send_idx = {10, 11};
+  plan.recv_idx = {20, 21, 22};
+  EXPECT_NO_THROW(validate_plan_args(plan, f.graph, f.args()));
+  std::vector<gidx> drifted{10, 99};
+  a = f.args();
+  a.send_idx = drifted;
+  EXPECT_THROW(validate_plan_args(plan, f.graph, a), simmpi::SimError);
+}
+
 TEST(EdgeOrdering, SortsBySrcThenDst) {
   std::vector<Edge> v;
   v.push_back(Edge{2, 1, 1, {}});

@@ -41,11 +41,12 @@ RunStats run_all_protocols(const Shape& shape, const GlobalPattern& pat,
     DistGraph g = co_await dist_graph_create_adjacent(
         ctx, ctx.world(), a.sources, a.destinations, GraphAlgo::handshake);
 
-    auto standard = neighbor_alltoallv_init_standard(ctx, g, a.view());
-    auto partial = co_await neighbor_alltoallv_init_locality(
-        ctx, g, a.view(), {.dedup = false});
-    auto full = co_await neighbor_alltoallv_init_locality(ctx, g, a.view(),
-                                                          {.dedup = true});
+    auto standard =
+        co_await neighbor_alltoallv_init(ctx, g, a.view(), Method::standard);
+    auto partial =
+        co_await neighbor_alltoallv_init(ctx, g, a.view(), Method::locality);
+    auto full = co_await neighbor_alltoallv_init(ctx, g, a.view(),
+                                                 Method::locality_dedup);
     stats.standard_[r] = standard->stats();
     stats.partial_[r] = partial->stats();
     stats.full_[r] = full->stats();
@@ -167,8 +168,8 @@ TEST(Neighbor, DedupRequiresIndices) {
             GraphAlgo::handshake);
         auto args = a.view();
         args.send_idx = {};  // strip the extension data
-        co_await neighbor_alltoallv_init_locality(ctx, g, args,
-                                                  {.dedup = true});
+        co_await neighbor_alltoallv_init(ctx, g, args,
+                                         Method::locality_dedup);
       }),
       SimError);
 }
@@ -186,8 +187,7 @@ TEST(Neighbor, MismatchedCountsRejected) {
             GraphAlgo::handshake);
         auto args = a.view();
         args.sendcounts.push_back(1);  // wrong arity
-        neighbor_alltoallv_init_standard(ctx, g, args);
-        co_return;
+        co_await neighbor_alltoallv_init(ctx, g, args, Method::standard);
       }),
       SimError);
 }

@@ -49,19 +49,16 @@ GlobalPattern fanin_pattern(int nranks, int rpn) {
   return p;
 }
 
-/// Run one protocol over several iterations and verify payloads.
+/// Run one method over several iterations and verify payloads (`which`
+/// indexes mpix::kAllMethods).
 void verify_protocol(Engine& eng, const GlobalPattern& pat, int which,
                      bool lpt = true) {
   eng.run([&](Context& ctx) -> Task<> {
     RankArgs a = pattern::rank_args(pat, ctx.rank());
     DistGraph g = co_await dist_graph_create_adjacent(
         ctx, ctx.world(), a.sources, a.destinations, GraphAlgo::handshake);
-    std::unique_ptr<NeighborAlltoallv> proto;
-    if (which == 0)
-      proto = neighbor_alltoallv_init_standard(ctx, g, a.view());
-    else
-      proto = co_await neighbor_alltoallv_init_locality(
-          ctx, g, a.view(), {.dedup = which == 2, .lpt_balance = lpt});
+    std::unique_ptr<NeighborAlltoallv> proto = co_await neighbor_alltoallv_init(
+        ctx, g, a.view(), kAllMethods[which], {.lpt_balance = lpt});
     pattern::verify_stats(
         proto->stats(),
         which == 0 ? static_cast<long>(a.sendbuf.size()) : -1);
@@ -124,10 +121,10 @@ TEST(NeighborStress, TwoCollectivesInterleavedOnOneGraph) {
     RankArgs b = pattern::rank_args(pat, ctx.rank());
     DistGraph g = co_await dist_graph_create_adjacent(
         ctx, ctx.world(), a.sources, a.destinations, GraphAlgo::handshake);
-    auto p1 = co_await neighbor_alltoallv_init_locality(ctx, g, a.view(),
-                                                        {.dedup = false});
-    auto p2 = co_await neighbor_alltoallv_init_locality(ctx, g, b.view(),
-                                                        {.dedup = true});
+    auto p1 =
+        co_await neighbor_alltoallv_init(ctx, g, a.view(), Method::locality);
+    auto p2 = co_await neighbor_alltoallv_init(ctx, g, b.view(),
+                                               Method::locality_dedup);
     a.fill(1);
     b.fill(2);
     co_await p1->start(ctx);
@@ -151,7 +148,8 @@ TEST(NeighborStress, WaitWithoutStartThrows) {
         DistGraph g = co_await dist_graph_create_adjacent(
             ctx, ctx.world(), a.sources, a.destinations,
             GraphAlgo::handshake);
-        auto proto = neighbor_alltoallv_init_standard(ctx, g, a.view());
+        auto proto = co_await neighbor_alltoallv_init(ctx, g, a.view(),
+                                                      Method::standard);
         co_await proto->wait(ctx);  // never started
       }),
       SimError);
@@ -169,7 +167,8 @@ TEST(NeighborStress, DoubleStartThrows) {
         DistGraph g = co_await dist_graph_create_adjacent(
             ctx, ctx.world(), a.sources, a.destinations,
             GraphAlgo::handshake);
-        auto proto = neighbor_alltoallv_init_standard(ctx, g, a.view());
+        auto proto = co_await neighbor_alltoallv_init(ctx, g, a.view(),
+                                                      Method::standard);
         co_await proto->start(ctx);
         co_await proto->start(ctx);  // start while active
         co_await proto->wait(ctx);
@@ -186,8 +185,8 @@ TEST(NeighborStress, SimulatedTimesAreDeterministic) {
       RankArgs a = pattern::rank_args(pat, ctx.rank());
       DistGraph g = co_await dist_graph_create_adjacent(
           ctx, ctx.world(), a.sources, a.destinations, GraphAlgo::handshake);
-      auto proto = co_await neighbor_alltoallv_init_locality(
-          ctx, g, a.view(), {.dedup = true});
+      auto proto = co_await neighbor_alltoallv_init(ctx, g, a.view(),
+                                                    Method::locality_dedup);
       a.fill(0);
       co_await proto->start(ctx);
       co_await proto->wait(ctx);
@@ -208,8 +207,8 @@ TEST(NeighborStress, StatsAreStableAcrossIterations) {
     RankArgs a = pattern::rank_args(pat, ctx.rank());
     DistGraph g = co_await dist_graph_create_adjacent(
         ctx, ctx.world(), a.sources, a.destinations, GraphAlgo::handshake);
-    auto proto = co_await neighbor_alltoallv_init_locality(ctx, g, a.view(),
-                                                           {.dedup = true});
+    auto proto = co_await neighbor_alltoallv_init(ctx, g, a.view(),
+                                                  Method::locality_dedup);
     const NeighborStats before = proto->stats();
     for (int it = 0; it < 3; ++it) {
       a.fill(it);
@@ -239,8 +238,8 @@ TEST(NeighborStress, SingleValueBroadcastLikePattern) {
     RankArgs a = pattern::rank_args(pat, ctx.rank());
     DistGraph g = co_await dist_graph_create_adjacent(
         ctx, ctx.world(), a.sources, a.destinations, GraphAlgo::handshake);
-    auto proto = co_await neighbor_alltoallv_init_locality(ctx, g, a.view(),
-                                                           {.dedup = true});
+    auto proto = co_await neighbor_alltoallv_init(ctx, g, a.view(),
+                                                  Method::locality_dedup);
     a.fill(3);
     co_await proto->start(ctx);
     co_await proto->wait(ctx);
