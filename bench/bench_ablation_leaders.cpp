@@ -52,7 +52,7 @@ BENCHMARK(BM_LeaderAssignment)->DenseRange(0, 1)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  benchfig::init(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   const Data& d = data();
   harness::print_figure(std::cout,

@@ -72,7 +72,7 @@ BENCHMARK(BM_CostModelAblation)->DenseRange(0, 2)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  benchfig::init(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::printf("\n=== Ablation: cost-model features (524288 rows, 2048 cores) "
               "===\n%-12s %-14s %-14s %s\n", "model", "hypre (s)",

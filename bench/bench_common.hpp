@@ -6,17 +6,28 @@
 /// series on the simulated machine (cached across registered benchmarks),
 /// exposes each point as a google-benchmark counter (`sim_seconds` etc. —
 /// wall time of these benchmarks is meaningless; the simulator's virtual
-/// seconds are the measurement), and prints a paper-style table.
+/// seconds are the measurement), and prints a paper-style table.  See
+/// docs/BENCHMARKS.md for the figure-by-figure map and how to read the
+/// emitted BENCH_*.json.
 ///
-/// Setting `COLLOM_BENCH_QUICK=1` (the `run_benches_quick` target / CI
-/// smoke job) caps every sweep at 256 simulated ranks and shrinks the
-/// fixed-size problems to match, so each binary finishes in seconds while
-/// still exercising the full measurement pipeline.
+/// Knobs (all leave the measured virtual times bit-identical):
+///  * `COLLOM_BENCH_QUICK=1` (the `run_benches_quick` target / CI smoke
+///    job) caps every sweep at 256 simulated ranks and shrinks the
+///    fixed-size problems to match, so each binary finishes in seconds
+///    while still exercising the full measurement pipeline;
+///  * `--sim-threads=N` / `COLLOM_SIM_THREADS=N` sets the engine's worker
+///    count (wall-time-only; the simulated schedule is deterministic);
+///  * the hierarchy disk cache (`COLLOM_HIER_CACHE[_DIR]`, see
+///    harness::HierarchyCache) lets the binaries share built hierarchies
+///    under build/hier-cache instead of each re-running the coarsening.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "harness/dist_solve.hpp"
@@ -24,6 +35,23 @@
 #include "harness/table.hpp"
 
 namespace benchfig {
+
+/// Bench argv handling: consumes `--sim-threads=N` (exporting it as
+/// COLLOM_SIM_THREADS so every simmpi::Engine of the binary picks it up),
+/// then hands the remaining arguments to google-benchmark.
+inline void init(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--sim-threads=", 14) == 0) {
+      ::setenv("COLLOM_SIM_THREADS", arg + 14, 1);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  benchmark::Initialize(argc, argv);
+}
 
 /// The paper's evaluation configuration (Section 4).
 inline constexpr long kPaperRows = 524288;  // 1024 x 512 grid
@@ -63,6 +91,14 @@ inline const std::vector<int>& graph_ranks() {
   static const std::vector<int> full{16, 64, 256, 512, 1024, 2048};
   static const std::vector<int> quick{16, 64, 256};
   return quick_mode() ? quick : full;
+}
+
+/// Dense benchmark-argument range 0..n-1, sized at registration time to
+/// the active sweep, so quick mode registers exactly the points its
+/// shortened series computes (indexing past the series is UB and emitted
+/// garbage counters before this existed).
+inline std::vector<std::int64_t> index_range(std::size_t n) {
+  return benchmark::CreateDenseRange(0, static_cast<int>(n) - 1, 1);
 }
 
 /// Locality plans reused across benchmark repetitions and protocols (the

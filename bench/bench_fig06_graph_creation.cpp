@@ -42,13 +42,13 @@ void BM_GraphCreation(benchmark::State& state) {
 }
 
 BENCHMARK(BM_GraphCreation)
-    ->ArgsProduct({{0, 1, 2, 3, 4, 5}, {0, 1}})
+    ->ArgsProduct({index_range(graph_ranks().size()), {0, 1}})
     ->Iterations(1);
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  benchfig::init(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   const Data& d = data();
   harness::print_figure(std::cout,

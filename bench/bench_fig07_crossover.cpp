@@ -70,7 +70,7 @@ BENCHMARK(BM_Crossover)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  benchfig::init(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   const Data& d = data();
   harness::print_figure(

@@ -52,7 +52,7 @@ BENCHMARK(BM_LocalMessages)
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  benchfig::init(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   const Data& d = data();
   harness::print_figure(std::cout,

@@ -51,7 +51,7 @@ BENCHMARK(BM_PerLevelTime)
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  benchfig::init(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   const Data& d = data();
   harness::print_figure(

@@ -52,14 +52,14 @@ void BM_StrongScaling(benchmark::State& state) {
   state.SetLabel(harness::to_string(static_cast<Protocol>(p)));
 }
 BENCHMARK(BM_StrongScaling)
-    ->ArgsProduct({benchmark::CreateDenseRange(0, 6, 1),
+    ->ArgsProduct({index_range(scaling_ranks().size()),
                    benchmark::CreateDenseRange(0, 3, 1)})
     ->Iterations(1);
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
+  benchfig::init(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   const Data& d = data();
   harness::print_figure(

@@ -1,0 +1,81 @@
+# Validates the [[path]] / [[path#anchor]] cross-references used by the
+# markdown under docs/ (and README.md).  Run as a script:
+#
+#   cmake -DREPO_ROOT=<repo> -P cmake/CheckDocLinks.cmake
+#
+# A cross-reference target is a path relative to the repository root; it
+# must contain a '/' or '.' (bare bracketed words such as C++ attribute
+# spellings quoted inside code are not references).  For a target
+# "<file>.md#<anchor>" the anchor must match a heading of that file under
+# GitHub's slug rules (lowercase, punctuation stripped, spaces to dashes).
+#
+# The `docs` CMake target and the docs CI job run this and fail on any
+# broken reference.
+
+if(NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "CheckDocLinks: pass -DREPO_ROOT=<repo root>")
+endif()
+
+file(GLOB _doc_files "${REPO_ROOT}/docs/*.md")
+list(APPEND _doc_files "${REPO_ROOT}/README.md")
+
+function(_slugify text out_var)
+  string(TOLOWER "${text}" text)
+  string(STRIP "${text}" text)
+  # Drop everything but letters, digits, spaces and dashes, then dash-join.
+  string(REGEX REPLACE "[^a-z0-9 -]" "" text "${text}")
+  string(REPLACE " " "-" text "${text}")
+  set(${out_var} "${text}" PARENT_SCOPE)
+endfunction()
+
+set(_checked 0)
+set(_broken "")
+foreach(_doc IN LISTS _doc_files)
+  file(READ "${_doc}" _content)
+  string(REGEX MATCHALL "\\[\\[[^]\n]+\\]\\]" _refs "${_content}")
+  foreach(_ref IN LISTS _refs)
+    string(REGEX REPLACE "^\\[\\[(.*)\\]\\]$" "\\1" _target "${_ref}")
+    if(NOT _target MATCHES "[/.]" OR NOT _target MATCHES "[A-Za-z0-9]")
+      # Not a cross-reference: quoted attribute syntax ([[nodiscard]]),
+      # the literal [[...]] placeholder in prose, etc.
+      continue()
+    endif()
+    math(EXPR _checked "${_checked} + 1")
+    set(_anchor "")
+    if(_target MATCHES "^([^#]+)#(.+)$")
+      set(_target "${CMAKE_MATCH_1}")
+      set(_anchor "${CMAKE_MATCH_2}")
+    endif()
+    cmake_path(GET _doc FILENAME _doc_name)
+    if(NOT EXISTS "${REPO_ROOT}/${_target}")
+      list(APPEND _broken "${_doc_name}: [[${_target}]] — no such file")
+      continue()
+    endif()
+    if(_anchor)
+      if(NOT _target MATCHES "\\.md$")
+        list(APPEND _broken
+             "${_doc_name}: [[${_target}#${_anchor}]] — anchors only resolve in .md files")
+        continue()
+      endif()
+      file(STRINGS "${REPO_ROOT}/${_target}" _headings REGEX "^#+ ")
+      set(_found FALSE)
+      foreach(_h IN LISTS _headings)
+        string(REGEX REPLACE "^#+ +" "" _h "${_h}")
+        _slugify("${_h}" _slug)
+        if(_slug STREQUAL _anchor)
+          set(_found TRUE)
+        endif()
+      endforeach()
+      if(NOT _found)
+        list(APPEND _broken
+             "${_doc_name}: [[${_target}#${_anchor}]] — no heading slugs to '${_anchor}'")
+      endif()
+    endif()
+  endforeach()
+endforeach()
+
+if(_broken)
+  list(JOIN _broken "\n  " _msg)
+  message(FATAL_ERROR "broken doc cross-references:\n  ${_msg}")
+endif()
+message(STATUS "CheckDocLinks: ${_checked} cross-reference(s) OK")

@@ -30,6 +30,8 @@ struct DistLevel {
 
   bool has_coarse() const { return P.global_rows != 0; }
   long n() const { return A.global_rows; }
+
+  bool operator==(const DistLevel&) const = default;
 };
 
 /// A hierarchy distributed over `nranks` ranks.
@@ -38,6 +40,8 @@ struct DistHierarchy {
   int nranks = 0;
 
   int num_levels() const { return static_cast<int>(levels.size()); }
+
+  bool operator==(const DistHierarchy&) const = default;
 };
 
 /// Distribute a canonical hierarchy over `nranks` ranks (block partition of

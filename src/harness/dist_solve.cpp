@@ -53,7 +53,8 @@ DistSolveResult run_distributed_amg(const amg::DistHierarchy& dh,
   if (static_cast<long>(b_global.size()) != dh.levels[0].n())
     throw simmpi::SimError("run_distributed_amg: rhs size mismatch");
 
-  Engine eng(Machine::with_region_size(p, cfg.ranks_per_region), cfg.cost);
+  Engine eng(Machine::with_region_size(p, cfg.ranks_per_region), cfg.cost,
+             Engine::Options{.threads = cfg.threads});
   DistSolveResult result;
   std::vector<std::vector<double>> x_parts(p);
   std::vector<double> elapsed(p, 0.0);

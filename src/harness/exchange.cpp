@@ -192,6 +192,7 @@ std::uint64_t cache_key(std::uint64_t pattern_key, mpix::Method method,
 
 std::shared_ptr<const mpix::LocalityPlan> PlanCache::find(std::uint64_t key,
                                                           int rank) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = plans_.find({key, rank});
   if (it == plans_.end()) {
     ++misses_;
@@ -203,6 +204,7 @@ std::shared_ptr<const mpix::LocalityPlan> PlanCache::find(std::uint64_t key,
 
 void PlanCache::put(std::uint64_t key, int rank,
                     std::shared_ptr<const mpix::LocalityPlan> plan) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (plan) plans_[{key, rank}] = std::move(plan);
 }
 

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <type_traits>
 #include <utility>
 
@@ -89,8 +90,12 @@ inline const char* to_string(Protocol p) {
 /// hits or every rank misses — plan construction stays collectively safe.
 /// Plans are engine-free, so a cache may outlive engine runs (benchmark
 /// repetitions) as long as machine shape and communicator membership are
-/// unchanged; `make_halo_exchange` mixes both into the lookup key.  Not
-/// thread-safe (the simulator is single-threaded).
+/// unchanged; `make_halo_exchange` mixes both into the lookup key.
+///
+/// Thread-safe: the engine resumes rank coroutines on a worker pool, so
+/// concurrent find/put from ranks of one phase are expected.  Entries are
+/// keyed per rank, hence hit/miss totals stay deterministic regardless of
+/// the interleaving.
 class PlanCache {
  public:
   /// Cached plan of `rank` under `key`, or null.  Counts a hit or a miss.
@@ -98,12 +103,25 @@ class PlanCache {
   void put(std::uint64_t key, int rank,
            std::shared_ptr<const mpix::LocalityPlan> plan);
 
-  long hits() const { return hits_; }
-  long misses() const { return misses_; }
-  std::size_t size() const { return plans_.size(); }
-  void clear() { plans_.clear(); }
+  long hits() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return hits_;
+  }
+  long misses() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return misses_;
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return plans_.size();
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    plans_.clear();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::pair<std::uint64_t, int>,
            std::shared_ptr<const mpix::LocalityPlan>>
       plans_;
@@ -132,8 +150,9 @@ struct ExchangeOptions {
 
 // ExchangeOptions is written as a braced temporary inside co_await'd
 // make_halo_exchange calls; g++ 12 double-destroys such temporaries (see
-// the warning in mpix/neighbor.hpp), which is only harmless while this
-// stays trivially destructible.  Do not add owning members.
+// the warning in mpix/neighbor.hpp and docs/COROUTINE_PITFALLS.md), which
+// is only harmless while this stays trivially destructible.  Do not add
+// owning members.
 static_assert(std::is_trivially_destructible_v<ExchangeOptions>);
 
 /// A persistent halo exchange bound to one rank's pattern.

@@ -5,6 +5,7 @@
 #include <map>
 #include <optional>
 
+#include "harness/hierarchy_cache.hpp"
 #include "sparse/stencil.hpp"
 
 namespace harness {
@@ -23,6 +24,10 @@ Machine machine_for(int nranks, const MeasureConfig& cfg) {
   return Machine::with_region_size(nranks, cfg.ranks_per_region);
 }
 
+Engine::Options engine_opts(const MeasureConfig& cfg) {
+  return Engine::Options{.threads = cfg.threads};
+}
+
 }  // namespace
 
 std::vector<LevelMeasurement> measure_protocol(const amg::DistHierarchy& dh,
@@ -30,7 +35,7 @@ std::vector<LevelMeasurement> measure_protocol(const amg::DistHierarchy& dh,
                                                const MeasureConfig& cfg) {
   const int p = dh.nranks;
   const int nlevels = dh.num_levels();
-  Engine eng(machine_for(p, cfg), cfg.cost);
+  Engine eng(machine_for(p, cfg), cfg.cost, engine_opts(cfg));
 
   std::vector<std::vector<double>> init_elapsed(nlevels,
                                                 std::vector<double>(p, 0.0));
@@ -116,7 +121,7 @@ double measure_graph_creation(const amg::DistHierarchy& dh,
                               simmpi::GraphAlgo algo,
                               const MeasureConfig& cfg) {
   const int p = dh.nranks;
-  Engine eng(machine_for(p, cfg), cfg.cost);
+  Engine eng(machine_for(p, cfg), cfg.cost, engine_opts(cfg));
   std::vector<double> elapsed(p, 0.0);
   eng.run([&](Context& ctx) -> Task<> {
     const int r = ctx.rank();
@@ -174,7 +179,19 @@ const amg::DistHierarchy& paper_dist_hierarchy(long rows, int nranks) {
   static int cached_ranks = -1;
   static std::optional<amg::DistHierarchy> cached;
   if (cached_rows != rows || cached_ranks != nranks) {
-    cached.emplace(amg::distribute_hierarchy(paper_hierarchy(rows), nranks));
+    // Thin lookup: the process memo misses, so consult the cross-process
+    // disk cache before paying for coarsening + distribution.  A disk hit
+    // skips the canonical paper_hierarchy build entirely.
+    const HierarchyCache::Key key{rows, nranks, amg::Options{}};
+    HierarchyCache* disk = HierarchyCache::global();
+    std::optional<amg::DistHierarchy> loaded;
+    if (disk) loaded = disk->load(key);
+    if (loaded) {
+      cached = std::move(loaded);
+    } else {
+      cached.emplace(amg::distribute_hierarchy(paper_hierarchy(rows), nranks));
+      if (disk) disk->store(key, *cached);
+    }
     cached_rows = rows;
     cached_ranks = nranks;
   }

@@ -272,8 +272,9 @@ struct Options {
 
 // Options is frequently written as a braced temporary inside co_await'd
 // init calls; g++ 12 double-destroys such temporaries (see the warning on
-// the typed overloads below), which is only harmless while Options stays
-// trivially destructible.  Do not add owning members.
+// the typed overloads below and docs/COROUTINE_PITFALLS.md), which is only
+// harmless while Options stays trivially destructible.  Do not add owning
+// members.
 static_assert(std::is_trivially_destructible_v<Options>);
 
 /// Build just the locality plan for a pattern (collective over the graph's
@@ -302,6 +303,7 @@ simmpi::Task<std::unique_ptr<NeighborAlltoallv>> neighbor_alltoallv_init(
 /// or return them from a helper function — both are safe and are the
 /// idiom used throughout this repository — instead of writing
 /// `co_await neighbor_alltoallv_init(ctx, g, AlltoallvArgsT<T>{...}, m)`.
+/// Minimal repro, idiom and guard checklist: docs/COROUTINE_PITFALLS.md.
 template <class T>
 simmpi::Task<std::unique_ptr<NeighborAlltoallv>> neighbor_alltoallv_init(
     simmpi::Context& ctx, const simmpi::DistGraph& graph,

@@ -1,12 +1,142 @@
 #include "simmpi/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <thread>
 
 #include "simmpi/coll.hpp"
 
 namespace simmpi {
+
+namespace {
+
+/// Resolve Options::threads: explicit value, else COLLOM_SIM_THREADS, else
+/// hardware concurrency.  Always >= 1.
+int resolve_threads(int requested) {
+  int t = requested;
+  if (t <= 0) {
+    if (const char* env = std::getenv("COLLOM_SIM_THREADS")) t = std::atoi(env);
+  }
+  if (t <= 0) t = static_cast<int>(std::thread::hardware_concurrency());
+  return std::clamp(t, 1, 512);
+}
+
+/// Fixed pool of workers resuming one phase's coroutines.
+///
+/// The pool only runs *between* the engine's phase barriers: `run_phase`
+/// hands out the runnable handles, every worker (the caller included)
+/// resumes disjoint handles until each parks or completes, and `run_phase`
+/// returns only after all of them did.  All engine state a resumed
+/// coroutine touches is per-rank (see Engine::RankState), so workers never
+/// contend; the mutex handoffs around a phase give the commit step (and the
+/// next phase's workers) a view of every coroutine frame written this
+/// phase.
+///
+/// Coroutine caveat: handles are resumed on whatever worker grabs them, so
+/// a rank coroutine may migrate threads across suspension points.  Nothing
+/// here may rely on thread-locals across a co_await — and the g++ 12
+/// braced-temporary lifetime bug applies to coroutine code run by this pool
+/// exactly as it does single-threaded (see docs/COROUTINE_PITFALLS.md).
+class WorkerPool {
+ public:
+  explicit WorkerPool(int nthreads) : nthreads_(std::max(1, nthreads)) {
+    threads_.reserve(nthreads_ - 1);
+    for (int i = 0; i < nthreads_ - 1; ++i)
+      threads_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+      ++gen_;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Resume every handle of the phase; blocks until all have run.  The
+  /// first exception escaping a resume (in handle order) is rethrown.
+  void run_phase(std::span<std::coroutine_handle<>> items) {
+    if (items.empty()) return;
+    errs_.assign(items.size(), nullptr);
+    items_ = items;
+    next_.store(0, std::memory_order_relaxed);
+    // Tiny phases aren't worth a pool wakeup; resuming inline is identical
+    // by the determinism contract (the schedule never depends on *who*
+    // resumes a handle).
+    if (nthreads_ == 1 || items.size() < 4) {
+      run_items();
+    } else {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        pending_ = nthreads_ - 1;
+        ++gen_;
+      }
+      cv_.notify_all();
+      run_items();
+      std::unique_lock<std::mutex> lk(mu_);
+      done_cv_.wait(lk, [this] { return pending_ == 0; });
+    }
+    for (auto& e : errs_)
+      if (e) std::rethrow_exception(e);
+  }
+
+ private:
+  void run_items() {
+    // Blocked handout: consecutive ranks stay on one worker (their clocks
+    // and stats are adjacent in memory).
+    constexpr std::size_t kChunk = 8;
+    const std::size_t n = items_.size();
+    for (;;) {
+      const std::size_t begin =
+          next_.fetch_add(kChunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const std::size_t end = std::min(n, begin + kChunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          items_[i].resume();
+        } catch (...) {
+          errs_[i] = std::current_exception();
+        }
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      cv_.wait(lk, [&] { return stop_ || gen_ != seen; });
+      if (stop_) return;
+      seen = gen_;
+      lk.unlock();
+      run_items();
+      lk.lock();
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+
+  const int nthreads_;
+  std::vector<std::thread> threads_;
+  std::span<std::coroutine_handle<>> items_;
+  std::vector<std::exception_ptr> errs_;
+  std::atomic<std::size_t> next_{0};
+  std::mutex mu_;
+  std::condition_variable cv_, done_cv_;
+  std::uint64_t gen_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
 
 Context::Context(Engine& eng, int rank)
     : eng_(&eng), rank_(rank), world_(&eng, eng.world_data(), rank) {}
@@ -20,12 +150,16 @@ Task<> Context::wait_all(std::span<Request* const> reqs) {
 }
 
 Engine::Engine(Machine machine, CostParams params)
+    : Engine(std::move(machine), params, Options{}) {}
+
+Engine::Engine(Machine machine, CostParams params, Options opts)
     : machine_(std::move(machine)),
       model_(params),
+      threads_(resolve_threads(opts.threads)),
       clocks_(machine_.num_ranks(), 0.0),
       nic_free_(machine_.num_nodes(), 0.0),
       stats_(machine_.num_ranks()),
-      inbox_count_(machine_.num_ranks(), 0) {
+      rank_(machine_.num_ranks()) {
   auto world = std::make_shared<CommData>();
   world->ctx_id = 0;
   world->members.resize(machine_.num_ranks());
@@ -36,8 +170,12 @@ Engine::Engine(Machine machine, CostParams params)
 void Engine::run(const RankProgram& program) {
   if (running_) throw SimError("Engine::run: already running");
   running_ = true;
-  const int nranks = machine_.num_ranks();
+  struct Guard {
+    bool& flag;
+    ~Guard() { flag = false; }
+  } guard{running_};
 
+  const int nranks = machine_.num_ranks();
   std::vector<std::unique_ptr<Context>> ctxs;
   ctxs.reserve(nranks);
   std::vector<Task<>> tasks;
@@ -45,14 +183,19 @@ void Engine::run(const RankProgram& program) {
   for (int r = 0; r < nranks; ++r)
     ctxs.push_back(std::make_unique<Context>(*this, r));
   for (int r = 0; r < nranks; ++r) tasks.push_back(program(*ctxs[r]));
+  ready_.clear();
   for (int r = 0; r < nranks; ++r) ready_.push_back(tasks[r].handle());
 
-  while (!ready_.empty()) {
-    auto h = ready_.front();
-    ready_.pop_front();
-    h.resume();
+  {
+    WorkerPool pool(std::min(threads_, nranks));
+    std::vector<std::coroutine_handle<>> phase;
+    while (!ready_.empty()) {
+      phase.clear();
+      phase.swap(ready_);
+      pool.run_phase(phase);
+      commit_phase();
+    }
   }
-  running_ = false;
 
   // Surface rank exceptions first: they are the usual root cause of an
   // apparent deadlock (a failed rank stops sending).
@@ -65,27 +208,88 @@ void Engine::run(const RankProgram& program) {
     std::ostringstream os;
     os << "Engine::run: deadlock; ranks blocked on channels:";
     int shown = 0;
-    for (auto& [key, h] : waiters_) {
+    for (auto& rs : rank_) {
+      if (!rs.parked) continue;
       if (shown++ == 8) {
         os << " ...";
         break;
       }
+      const ChannelKey& key = rs.parked_key;
       os << " [ctx=" << key.ctx << " " << key.src << "->" << key.dst
          << " tag=" << key.tag << "]";
     }
-    waiters_.clear();
-    mailbox_.clear();
-    pending_messages_ = 0;
-    std::fill(inbox_count_.begin(), inbox_count_.end(), 0);
+    check_quiescent();
     throw SimError(os.str());
   }
-  if (pending_messages_ != 0) {
-    std::size_t n = pending_messages_;
-    mailbox_.clear();
-    pending_messages_ = 0;
-    std::fill(inbox_count_.begin(), inbox_count_.end(), 0);
-    throw SimError("Engine::run: " + std::to_string(n) +
+  long pending = 0;
+  for (const auto& rs : rank_) pending += rs.inbox_count;
+  if (pending != 0) {
+    check_quiescent();
+    throw SimError("Engine::run: " + std::to_string(pending) +
                    " message(s) posted but never received");
+  }
+}
+
+/// Clear in-flight state so a failed run leaves the engine inspectable.
+void Engine::check_quiescent() {
+  for (auto& rs : rank_) {
+    rs.mailbox.clear();
+    rs.parked = {};
+    rs.inbox_count = 0;
+    rs.journal.clear();
+  }
+}
+
+void Engine::commit_phase() {
+  const int nranks = machine_.num_ranks();
+  // Pass 1 — NIC epoch reset.  All sync_reset leavers of one generation
+  // flag their commit(s) strictly after every pre-barrier send committed;
+  // the first such commit drains the queues exactly once, before any
+  // post-barrier send of pass 2 is charged.
+  int newly = 0;
+  for (auto& rs : rank_) {
+    newly += rs.nic_reset_request ? 1 : 0;
+    rs.nic_reset_request = false;
+  }
+  if (newly > 0) {
+    if (sync_arrivals_ == 0)
+      std::fill(nic_free_.begin(), nic_free_.end(), 0.0);
+    sync_arrivals_ += newly;
+    if (sync_arrivals_ == nranks) sync_arrivals_ = 0;
+  }
+  // Pass 2 — deliver journaled sends in (rank, program) order.  This order
+  // is a function of the phase structure alone, never of the worker count
+  // or the within-phase interleaving: the NIC queue arithmetic below is
+  // bit-identical for any Options::threads.
+  for (int r = 0; r < nranks; ++r) {
+    auto& journal = rank_[r].journal;
+    for (PendingSend& ps : journal) deliver(std::move(ps));
+    journal.clear();
+  }
+}
+
+void Engine::deliver(PendingSend ps) {
+  const std::size_t bytes = ps.payload.size();
+  double arrival;
+  if (ps.loc == Locality::network && model_.params().use_injection_cap) {
+    const int node = machine_.node_of(ps.key.src);
+    const double inject = std::max(ps.depart, nic_free_[node]);
+    // Zero-byte messages (barriers, handshakes) occupy no injection
+    // bandwidth and must not extend the NIC busy window: a late-departing
+    // empty message would otherwise re-contaminate the queue across a
+    // sync_reset measurement boundary.
+    if (bytes > 0) nic_free_[node] = inject + model_.nic_occupancy(bytes);
+    arrival = inject + model_.transfer_time(ps.loc, bytes);
+  } else {
+    arrival = ps.depart + model_.transfer_time(ps.loc, bytes);
+  }
+
+  RankState& dst = rank_[ps.key.dst];
+  dst.mailbox[ps.key].push_back(Message{std::move(ps.payload), arrival});
+  ++dst.inbox_count;
+  if (dst.parked && dst.parked_key == ps.key) {
+    ready_.push_back(dst.parked);
+    dst.parked = {};
   }
 }
 
@@ -120,9 +324,11 @@ void Engine::reset_stats() {
 Task<> Engine::sync_reset(Context& ctx, bool clear_stats) {
   co_await coll::barrier(ctx, ctx.world());
   // The dissemination barrier guarantees every rank has entered before any
-  // rank leaves, so the first leaver resets shared (quiescent) state.
-  if (sync_arrivals_ == 0) std::fill(nic_free_.begin(), nic_free_.end(), 0.0);
-  if (++sync_arrivals_ == machine_.num_ranks()) sync_arrivals_ = 0;
+  // rank leaves, so every send journaled from here on is post-barrier.  The
+  // per-rank flag defers the shared NIC-queue drain to the commit step,
+  // which folds one reset generation into a single drain (see
+  // commit_phase): leavers race-free even though they resume concurrently.
+  rank_[ctx.rank()].nic_reset_request = true;
   clocks_[ctx.rank()] = 0.0;
   if (clear_stats) stats_[ctx.rank()] = RankStats{};
 }
@@ -132,70 +338,48 @@ void Engine::post_send(const Comm& comm, int src_local, int dst_local, int tag,
   const int gsrc = comm.global(src_local);
   const int gdst = comm.global(dst_local);
   const Locality loc = machine_.classify(gsrc, gdst);
-  const std::size_t bytes = payload.size();
 
   double& clk = clocks_[gsrc];
   clk += model_.send_overhead();
-  const double depart = clk;
-  double arrival;
-  if (loc == Locality::network && model_.params().use_injection_cap) {
-    const int node = machine_.node_of(gsrc);
-    const double inject = std::max(depart, nic_free_[node]);
-    // Zero-byte messages (barriers, handshakes) occupy no injection
-    // bandwidth and must not extend the NIC busy window: a late-departing
-    // empty message would otherwise re-contaminate the queue across a
-    // sync_reset measurement boundary.
-    if (bytes > 0) nic_free_[node] = inject + model_.nic_occupancy(bytes);
-    arrival = inject + model_.transfer_time(loc, bytes);
-  } else {
-    arrival = depart + model_.transfer_time(loc, bytes);
-  }
-
-  const ChannelKey key{comm.id(), gsrc, gdst, tag};
-  mailbox_[key].push_back(
-      Message{std::vector<std::byte>(payload.begin(), payload.end()), arrival});
-  ++inbox_count_[gdst];
-  ++pending_messages_;
 
   auto& ts = stats_[gsrc].tier[static_cast<int>(loc)];
   ++ts.msgs;
-  ts.bytes += bytes;
+  ts.bytes += payload.size();
 
-  wake(key);
+  // Arrival time and NIC occupancy depend on shared per-node state; they
+  // are computed at the phase commit (deliver), not here.
+  rank_[gsrc].journal.push_back(
+      PendingSend{ChannelKey{comm.id(), gsrc, gdst, tag},
+                  std::vector<std::byte>(payload.begin(), payload.end()), clk,
+                  loc});
 }
 
 bool Engine::has_message(const ChannelKey& key) const {
-  auto it = mailbox_.find(key);
-  return it != mailbox_.end() && !it->second.empty();
+  const auto& mailbox = rank_[key.dst].mailbox;
+  auto it = mailbox.find(key);
+  return it != mailbox.end() && !it->second.empty();
 }
 
 void Engine::park(const ChannelKey& key, std::coroutine_handle<> h) {
-  auto [it, inserted] = waiters_.emplace(key, h);
-  if (!inserted)
-    throw SimError("Engine::park: second waiter on one channel (rank issued "
-                   "overlapping receives on the same (src,tag))");
-}
-
-void Engine::wake(const ChannelKey& key) {
-  auto it = waiters_.find(key);
-  if (it != waiters_.end()) {
-    ready_.push_back(it->second);
-    waiters_.erase(it);
-  }
+  RankState& rs = rank_[key.dst];
+  if (rs.parked)
+    throw SimError("Engine::park: rank already parked (overlapping waits on "
+                   "one rank cannot happen with one coroutine per rank)");
+  rs.parked = h;
+  rs.parked_key = key;
 }
 
 void Engine::complete_recv(Request& req) {
   const ChannelKey key = req.key();
-  auto it = mailbox_.find(key);
-  if (it == mailbox_.end() || it->second.empty())
+  RankState& rs = rank_[key.dst];
+  auto it = rs.mailbox.find(key);
+  if (it == rs.mailbox.end() || it->second.empty())
     throw SimError("Engine::complete_recv: no matching message");
   Message msg = std::move(it->second.front());
   it->second.pop_front();
-  if (it->second.empty()) mailbox_.erase(it);
+  if (it->second.empty()) rs.mailbox.erase(it);
 
-  const int gdst = key.dst;
-  --inbox_count_[gdst];
-  --pending_messages_;
+  --rs.inbox_count;
 
   if (req.dyn_) {
     req.payload_ = std::move(msg.payload);
@@ -210,28 +394,24 @@ void Engine::complete_recv(Request& req) {
     req.received_ = msg.payload.size();
   }
 
-  double& clk = clocks_[gdst];
-  clk = std::max(clk, msg.arrival) + model_.recv_overhead(inbox_count_[gdst]);
+  double& clk = clocks_[key.dst];
+  clk = std::max(clk, msg.arrival) + model_.recv_overhead(rs.inbox_count);
   req.started_ = false;
 }
 
 int Engine::next_coll_tag(const Comm& comm) {
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(comm.id()) << 32) |
-      static_cast<std::uint32_t>(comm.rank());
   // Reserve a high tag range for internal collective traffic; user tags
   // must stay below kCollTagBase.
   constexpr int kCollTagBase = 1 << 28;
   constexpr int kCollTagRange = 1 << 27;
-  const int seq = coll_tag_counter_[key]++;
+  auto& tags = rank_[comm.global(comm.rank())].coll_tags;
+  const int seq = tags[comm.id()]++;
   return kCollTagBase + (seq % kCollTagRange);
 }
 
 int Engine::next_split_round(const Comm& comm) {
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(comm.id()) << 32) |
-      static_cast<std::uint32_t>(comm.rank());
-  return split_round_counter_[key]++;
+  auto& rounds = rank_[comm.global(comm.rank())].split_rounds;
+  return rounds[comm.id()]++;
 }
 
 std::shared_ptr<const CommData> Engine::get_or_create_comm(
@@ -242,6 +422,11 @@ std::shared_ptr<const CommData> Engine::get_or_create_comm(
                             ((static_cast<std::uint64_t>(round) & 0xFFFFFF)
                              << 24) |
                             (static_cast<std::uint64_t>(color) & 0xFFFFFF);
+  // Ranks of one phase may create the same communicator concurrently; the
+  // winner under the lock assigns the ctx_id.  ctx_ids are identities only
+  // — no simulated cost or schedule decision reads their numeric value —
+  // so the winner's thread-dependence cannot break determinism.
+  std::lock_guard<std::mutex> lk(comm_mu_);
   auto it = comm_cache_.find(key);
   if (it != comm_cache_.end()) {
     if (it->second->members != members_global)

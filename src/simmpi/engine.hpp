@@ -2,18 +2,33 @@
 /// \file engine.hpp
 /// \brief The SPMD simulation engine: scheduler, mailboxes, virtual clocks.
 ///
-/// The engine runs one C++20 coroutine per simulated rank, cooperatively
-/// scheduled on a single OS thread.  Data movement is real (payload bytes
-/// are copied between rank buffers), so algorithms can be verified
-/// end-to-end; *time* is virtual, advanced per message by a locality-aware
-/// cost model (see cost_model.hpp).  Scheduling is deterministic, so every
-/// simulated experiment is exactly reproducible.
+/// The engine runs one C++20 coroutine per simulated rank.  Data movement is
+/// real (payload bytes are copied between rank buffers), so algorithms can be
+/// verified end-to-end; *time* is virtual, advanced per message by a
+/// locality-aware cost model (see cost_model.hpp).
+///
+/// Execution is *phase-based*: every runnable rank coroutine of a phase is
+/// resumed — concurrently, on a worker pool of `Options::threads` OS threads
+/// — until it blocks on a receive or finishes.  Sends posted during a phase
+/// are journaled per rank, and committed at the phase barrier in (rank,
+/// program) order: only then are NIC queues charged, arrival times fixed,
+/// messages delivered and parked receivers woken.  Because ranks never touch
+/// shared simulator state inside a phase and the commit order is independent
+/// of the worker count, the schedule — virtual clocks, message statistics,
+/// delivered payload bytes — is **deterministic and bit-identical for every
+/// value of `Options::threads`** (the determinism contract; see
+/// docs/ARCHITECTURE.md and the `EngineThreads` test suite).
+///
+/// Rank programs therefore run concurrently: host-side state shared across
+/// ranks (result tables, caches) must be per-rank slots or synchronized.
+/// Engine-mediated communication needs no user synchronization.
 
 #include <coroutine>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -60,10 +75,20 @@ class Context {
 /// Simulation engine.  Owns topology, cost model, mailboxes and clocks.
 class Engine {
  public:
+  /// Engine execution knobs.
+  struct Options {
+    /// Worker threads of the phase scheduler.  0 = auto: the
+    /// `COLLOM_SIM_THREADS` environment variable if set and positive, else
+    /// `std::thread::hardware_concurrency()`.  Any value yields the same
+    /// simulated schedule (see the determinism contract in the file brief).
+    int threads = 0;
+  };
+
   /// Per-rank, per-locality-tier message statistics (sender side).
   struct TierStats {
     std::uint64_t msgs = 0;
     std::uint64_t bytes = 0;
+    bool operator==(const TierStats&) const = default;
   };
   struct RankStats {
     TierStats tier[kNumLocalities];
@@ -72,8 +97,10 @@ class Engine {
       for (const auto& t : tier) n += t.msgs;
       return n;
     }
+    bool operator==(const RankStats&) const = default;
   };
 
+  Engine(Machine machine, CostParams params, Options opts);
   Engine(Machine machine, CostParams params);
 
   /// A rank program: the same function body is executed by every rank
@@ -86,6 +113,8 @@ class Engine {
 
   const Machine& machine() const { return machine_; }
   const CostModel& model() const { return model_; }
+  /// Resolved scheduler width (>= 1; see Options::threads).
+  int threads() const { return threads_; }
 
   /// Virtual clock of a rank, seconds.
   double clock(int rank) const { return clocks_[rank]; }
@@ -106,11 +135,15 @@ class Engine {
 
   // --- internal API used by Comm/Request/collectives -----------------
 
-  /// Post a message; advances the sender clock and computes arrival time.
+  /// Post a message: advances the sender clock, counts statistics, and
+  /// journals the send for delivery at the next phase commit (arrival times
+  /// and NIC occupancy are computed there, in deterministic rank order).
   void post_send(const Comm& comm, int src_local, int dst_local, int tag,
                  std::span<const std::byte> payload);
+  /// Whether a *committed* message is available on `key` (messages of the
+  /// current phase only become visible at its commit).
   bool has_message(const ChannelKey& key) const;
-  /// Park the current coroutine until a message for `key` is posted.
+  /// Park the current coroutine until a message for `key` is committed.
   void park(const ChannelKey& key, std::coroutine_handle<> h);
   /// Take the front message of a channel and charge receive overheads.
   void complete_recv(Request& req);
@@ -118,7 +151,8 @@ class Engine {
   /// sequences on all ranks of a communicator yield matching tags.
   int next_coll_tag(const Comm& comm);
   /// Deterministically get-or-create a sub-communicator.  All members must
-  /// call with the same (parent, round, color, members) tuple.
+  /// call with the same (parent, round, color, members) tuple.  Safe to
+  /// call from concurrently executing ranks.
   std::shared_ptr<const CommData> get_or_create_comm(
       std::uint32_t parent_ctx, int round, int color,
       const std::vector<int>& members_global);
@@ -129,36 +163,53 @@ class Engine {
   double& clock_ref(int rank) { return clocks_[rank]; }
 
  private:
-  void wake(const ChannelKey& key);
-  void check_quiescent() const;
+  /// A send journaled during a phase, awaiting delivery at the commit.
+  struct PendingSend {
+    ChannelKey key;
+    std::vector<std::byte> payload;
+    double depart = 0.0;  ///< sender clock after the send overhead
+    Locality loc = Locality::self;
+  };
+
+  /// State owned by one rank.  During a phase it is touched only by that
+  /// rank's coroutine (on whichever worker runs it); the commit step — and
+  /// only it — crosses rank boundaries, single-threaded.
+  struct RankState {
+    std::unordered_map<ChannelKey, std::deque<Message>, ChannelKeyHash>
+        mailbox;  ///< committed, undelivered messages addressed to this rank
+    std::coroutine_handle<> parked{};  ///< this rank's blocked coroutine
+    ChannelKey parked_key{};
+    int inbox_count = 0;  ///< committed, unreceived messages
+    std::vector<PendingSend> journal;
+    bool nic_reset_request = false;  ///< set by sync_reset, folded at commit
+    std::unordered_map<std::uint32_t, int> coll_tags;    ///< per comm ctx
+    std::unordered_map<std::uint32_t, int> split_rounds; ///< per comm ctx
+  };
+
+  void commit_phase();
+  void deliver(PendingSend ps);
+  void check_quiescent();
 
   Machine machine_;
   CostModel model_;
+  int threads_ = 1;
 
   std::vector<double> clocks_;
   std::vector<double> nic_free_;  // per node: time the NIC becomes free
   std::vector<RankStats> stats_;
-  std::vector<int> inbox_count_;  // pending (posted, unreceived) msgs per rank
+  std::vector<RankState> rank_;
 
-  std::unordered_map<ChannelKey, std::deque<Message>, ChannelKeyHash> mailbox_;
-  std::unordered_map<ChannelKey, std::coroutine_handle<>, ChannelKeyHash>
-      waiters_;
-  std::deque<std::coroutine_handle<>> ready_;
-  std::size_t pending_messages_ = 0;
+  /// Coroutines runnable in the next phase (filled by the commit step in
+  /// deterministic delivery order).
+  std::vector<std::coroutine_handle<>> ready_;
 
   std::shared_ptr<const CommData> world_data_;
   std::uint32_t next_ctx_id_ = 1;
-  struct CommCacheKeyHash {
-    std::size_t operator()(const std::uint64_t& k) const noexcept {
-      return std::hash<std::uint64_t>()(k);
-    }
-  };
   std::unordered_map<std::uint64_t, std::shared_ptr<const CommData>>
       comm_cache_;
-  std::unordered_map<std::uint64_t, int> coll_tag_counter_;
-  std::unordered_map<std::uint64_t, int> split_round_counter_;
+  std::mutex comm_mu_;  ///< guards comm_cache_ / next_ctx_id_
 
-  // sync_reset rendezvous state
+  // sync_reset generation state (commit-side; see sync_reset)
   int sync_arrivals_ = 0;
 
   bool running_ = false;

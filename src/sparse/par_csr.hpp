@@ -31,6 +31,8 @@ struct ParCsrRank {
 
   int local_rows() const { return diag.rows(); }
   int local_cols() const { return diag.cols(); }
+
+  bool operator==(const ParCsrRank&) const = default;
 };
 
 /// A distributed matrix: row/col partitions plus every rank's slice.
@@ -49,6 +51,8 @@ struct ParCsr {
 
   /// Reassemble the global matrix (testing aid).
   Csr gather() const;
+
+  bool operator==(const ParCsr&) const = default;
 };
 
 /// The communication pattern of one rank's halo exchange (Hypre "comm pkg").
@@ -73,12 +77,16 @@ struct RankHalo {
 
   long total_send() const { return static_cast<long>(send_idx.size()); }
   long total_recv() const { return static_cast<long>(recv_gids.size()); }
+
+  bool operator==(const RankHalo&) const = default;
 };
 
 /// Halo patterns of all ranks of a ParCsr.
 struct Halo {
   std::vector<RankHalo> ranks;
   static Halo build(const ParCsr& A);
+
+  bool operator==(const Halo&) const = default;
 };
 
 /// Local compute part of a distributed SpMV:

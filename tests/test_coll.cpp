@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
 #include <vector>
 
@@ -32,12 +33,14 @@ INSTANTIATE_TEST_SUITE_P(Sizes, CollSize,
 TEST_P(CollSize, BarrierCompletes) {
   const int p = GetParam();
   Engine eng = make_engine(p);
-  int count = 0;
+  // Rank programs run concurrently (worker-pool engine): shared counters
+  // must be atomic.
+  std::atomic<int> count{0};
   eng.run([&](Context& ctx) -> Task<> {
     co_await coll::barrier(ctx, ctx.world());
     ++count;
   });
-  EXPECT_EQ(count, p);
+  EXPECT_EQ(count.load(), p);
 }
 
 TEST_P(CollSize, AllreduceSum) {

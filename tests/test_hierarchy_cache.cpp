@@ -1,0 +1,169 @@
+/// \file test_hierarchy_cache.cpp
+/// \brief HierarchyCache round-trip fidelity and rejection of bad files
+/// (corruption, truncation, version and key mismatches).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "harness/hierarchy_cache.hpp"
+#include "harness/measure.hpp"
+#include "sparse/stencil.hpp"
+
+namespace fs = std::filesystem;
+using harness::HierarchyCache;
+
+namespace {
+
+/// Fresh scratch directory per test, removed on destruction.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("hier-cache-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter()++));
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  static int& counter() {
+    static int c = 0;
+    return c;
+  }
+};
+
+amg::DistHierarchy build_small(long rows = 512, int nranks = 8) {
+  int nx = 0, ny = 0;
+  sparse::factor_grid(rows, nx, ny);
+  return amg::distribute_hierarchy(
+      amg::Hierarchy::build(sparse::paper_problem(nx, ny)), nranks);
+}
+
+HierarchyCache::Key key_of(long rows = 512, int nranks = 8) {
+  return HierarchyCache::Key{rows, nranks, amg::Options{}};
+}
+
+std::vector<char> slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void spit(const fs::path& p, const std::vector<char>& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+TEST(HierarchyCache, RoundTripIsByteFaithful) {
+  TempDir tmp;
+  HierarchyCache cache(tmp.path);
+  const amg::DistHierarchy dh = build_small();
+  const auto key = key_of();
+
+  EXPECT_FALSE(cache.load(key).has_value());  // cold
+  ASSERT_TRUE(cache.store(key, dh));
+  ASSERT_TRUE(fs::exists(cache.path_of(key)));
+
+  auto loaded = cache.load(key);
+  ASSERT_TRUE(loaded.has_value());
+  // Defaulted deep equality over every level: operators, halos, transfer
+  // operators, permutations — all values restored exactly (raw IEEE
+  // doubles, no text round-trip).
+  EXPECT_EQ(*loaded, dh);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(HierarchyCache, DistinctKeysGetDistinctFiles) {
+  TempDir tmp;
+  HierarchyCache cache(tmp.path);
+  EXPECT_NE(cache.path_of(key_of(512, 8)), cache.path_of(key_of(512, 16)));
+  EXPECT_NE(cache.path_of(key_of(512, 8)), cache.path_of(key_of(1024, 8)));
+  auto opts = key_of();
+  opts.opts.strength_theta = 0.5;
+  EXPECT_NE(cache.path_of(key_of()), cache.path_of(opts));
+}
+
+TEST(HierarchyCache, CorruptPayloadIsRejected) {
+  TempDir tmp;
+  HierarchyCache cache(tmp.path);
+  const auto key = key_of();
+  ASSERT_TRUE(cache.store(key, build_small()));
+
+  auto bytes = slurp(cache.path_of(key));
+  ASSERT_GT(bytes.size(), 256u);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one payload bit
+  spit(cache.path_of(key), bytes);
+  EXPECT_FALSE(cache.load(key).has_value())
+      << "checksum must reject a corrupted payload";
+}
+
+TEST(HierarchyCache, TruncatedFileIsRejected) {
+  TempDir tmp;
+  HierarchyCache cache(tmp.path);
+  const auto key = key_of();
+  ASSERT_TRUE(cache.store(key, build_small()));
+
+  auto bytes = slurp(cache.path_of(key));
+  bytes.resize(bytes.size() / 2);
+  spit(cache.path_of(key), bytes);
+  EXPECT_FALSE(cache.load(key).has_value());
+
+  spit(cache.path_of(key), {});  // zero-length file
+  EXPECT_FALSE(cache.load(key).has_value());
+}
+
+TEST(HierarchyCache, VersionMismatchIsRejected) {
+  TempDir tmp;
+  HierarchyCache cache(tmp.path);
+  const auto key = key_of();
+  ASSERT_TRUE(cache.store(key, build_small()));
+
+  auto bytes = slurp(cache.path_of(key));
+  // The u32 format version sits right after the u64 magic.
+  ASSERT_GE(bytes.size(), 12u);
+  bytes[8] = static_cast<char>(HierarchyCache::kFormatVersion + 1);
+  spit(cache.path_of(key), bytes);
+  EXPECT_FALSE(cache.load(key).has_value());
+}
+
+TEST(HierarchyCache, KeyMismatchIsRejected) {
+  TempDir tmp;
+  HierarchyCache cache(tmp.path);
+  const auto key = key_of();
+  ASSERT_TRUE(cache.store(key, build_small()));
+
+  // A file renamed onto another key's address must not satisfy that key:
+  // the header carries the true key and is re-validated on load.
+  const auto other = key_of(512, 16);
+  fs::copy_file(cache.path_of(key), cache.path_of(other));
+  EXPECT_FALSE(cache.load(other).has_value());
+}
+
+TEST(HierarchyCache, PaperDistHierarchyPopulatesGlobalCache) {
+  // The global() instance honors COLLOM_HIER_CACHE_DIR; exercised through
+  // the paper_dist_hierarchy thin lookup only when this process has not
+  // already resolved the global instance — so spawn the check here first.
+  TempDir tmp;
+  ::setenv("COLLOM_HIER_CACHE_DIR", tmp.path.c_str(), 1);
+  HierarchyCache* global = HierarchyCache::global();
+  ::unsetenv("COLLOM_HIER_CACHE_DIR");
+  if (global == nullptr || global->dir() != tmp.path)
+    GTEST_SKIP() << "global cache already resolved elsewhere in-process";
+
+  (void)harness::paper_dist_hierarchy(512, 8);
+  EXPECT_TRUE(fs::exists(global->path_of(key_of(512, 8))));
+  // A fresh cache instance over the same directory loads what the memoized
+  // build stored.
+  HierarchyCache reader(tmp.path);
+  auto loaded = reader.load(key_of(512, 8));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, harness::paper_dist_hierarchy(512, 8));
+}
