@@ -17,9 +17,13 @@
 ///    while still exercising the full measurement pipeline;
 ///  * `--sim-threads=N` / `COLLOM_SIM_THREADS=N` sets the engine's worker
 ///    count (wall-time-only; the simulated schedule is deterministic);
-///  * the hierarchy disk cache (`COLLOM_HIER_CACHE[_DIR]`, see
-///    harness::HierarchyCache) lets the binaries share built hierarchies
-///    under build/hier-cache instead of each re-running the coarsening.
+///  * `--build-threads=N` / `COLLOM_BUILD_THREADS=N` sets the hierarchy
+///    *construction* width (defaults from COLLOM_SIM_THREADS; built
+///    hierarchies are bit-identical for every width);
+///  * the hierarchy disk cache (`COLLOM_HIER_CACHE[_DIR]`, plus the
+///    `COLLOM_HIER_CACHE_MAX_BYTES` size cap — see harness::
+///    HierarchyCache) lets the binaries share built hierarchies under
+///    build/hier-cache instead of each re-running the coarsening.
 
 #include <benchmark/benchmark.h>
 
@@ -36,15 +40,22 @@
 
 namespace benchfig {
 
-/// Bench argv handling: consumes `--sim-threads=N` (exporting it as
-/// COLLOM_SIM_THREADS so every simmpi::Engine of the binary picks it up),
-/// then hands the remaining arguments to google-benchmark.
+/// Bench argv handling: consumes `--sim-threads=N` (exported as
+/// COLLOM_SIM_THREADS so every simmpi::Engine of the binary picks it up)
+/// and `--build-threads=N` (exported as COLLOM_BUILD_THREADS so every
+/// hierarchy construction picks it up; unset, construction defaults from
+/// COLLOM_SIM_THREADS), then hands the remaining arguments to
+/// google-benchmark.
 inline void init(int* argc, char** argv) {
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--sim-threads=", 14) == 0) {
       ::setenv("COLLOM_SIM_THREADS", arg + 14, 1);
+      continue;
+    }
+    if (std::strncmp(arg, "--build-threads=", 16) == 0) {
+      ::setenv("COLLOM_BUILD_THREADS", arg + 16, 1);
       continue;
     }
     argv[out++] = argv[i];
@@ -136,11 +147,12 @@ inline ProtocolSet measure_all(long rows, int nranks) {
     cached_rows = rows;
     cached_ranks = nranks;
   }
-  const auto& dh = harness::paper_dist_hierarchy(rows, nranks);
+  const auto cfg = paper_config();
+  const auto& dh =
+      harness::paper_dist_hierarchy(rows, nranks, cfg.build_threads);
   ProtocolSet s;
   for (harness::Protocol p : harness::kAllProtocols)
-    s.per[static_cast<int>(p)] =
-        harness::measure_protocol(dh, p, paper_config());
+    s.per[static_cast<int>(p)] = harness::measure_protocol(dh, p, cfg);
   return s;
 }
 

@@ -17,13 +17,17 @@ DistHierarchy distribute_hierarchy(const Hierarchy& h, int nranks) {
   std::iota(perm.begin(), perm.end(), 0);
   std::vector<long> part = sparse::block_partition(h.levels[0].n(), nranks);
 
+  // Renumbering inherits the hierarchy's construction-thread knob (the
+  // permuted outputs are bit-identical for every width).
+  const sparse::Threads bt{h.options.threads};
+
   for (int l = 0; l < h.num_levels(); ++l) {
     const Level& lvl = h.levels[l];
     DistLevel& dl = dh.levels[l];
     dl.perm = perm;
 
     const sparse::Csr A_dist =
-        l == 0 ? lvl.A : lvl.A.permuted(perm, perm);
+        l == 0 ? lvl.A : lvl.A.permuted(perm, perm, bt);
     dl.A = sparse::ParCsr::distribute(A_dist, part, part);
     dl.halo = sparse::Halo::build(dl.A);
 
@@ -50,8 +54,8 @@ DistHierarchy distribute_hierarchy(const Hierarchy& h, int nranks) {
     for (int j = 0; j < nc; ++j) ++counts[owner[j]];
     std::vector<long> coarse_part = sparse::partition_from_counts(counts);
 
-    const sparse::Csr P_dist = lvl.P.permuted(perm, coarse_perm);
-    const sparse::Csr R_dist = lvl.R.permuted(coarse_perm, perm);
+    const sparse::Csr P_dist = lvl.P.permuted(perm, coarse_perm, bt);
+    const sparse::Csr R_dist = lvl.R.permuted(coarse_perm, perm, bt);
     dl.P = sparse::ParCsr::distribute(P_dist, part, coarse_part);
     dl.halo_P = sparse::Halo::build(dl.P);
     dl.R = sparse::ParCsr::distribute(R_dist, coarse_part, part);

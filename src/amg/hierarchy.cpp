@@ -24,20 +24,21 @@ Hierarchy Hierarchy::build(sparse::Csr A, const Options& opts) {
   h.options = opts;
   h.levels.push_back(Level{std::move(A), {}, {}, {}, {}});
 
+  const sparse::Threads bt{opts.threads};
   while (h.num_levels() < opts.max_levels &&
          h.levels.back().n() > opts.min_coarse_size) {
     Level& lvl = h.levels.back();
-    const sparse::Csr S = strength(lvl.A, opts.strength_theta);
+    const sparse::Csr S = strength(lvl.A, opts.strength_theta, bt);
     std::vector<CF> cf = coarsen(S, opts.coarsen_algo);
     std::vector<int> cpts = coarse_points(cf);
     const int nc = static_cast<int>(cpts.size());
     if (nc == 0 || nc == lvl.n()) break;  // coarsening stalled
 
     sparse::Csr P =
-        direct_interpolation(lvl.A, S, cf, opts.interp_max_elements);
-    sparse::Csr R = P.transpose();
-    sparse::Csr Ac =
-        sparse::galerkin_product(R, lvl.A, P).pruned(opts.galerkin_prune_tol);
+        direct_interpolation(lvl.A, S, cf, opts.interp_max_elements, bt);
+    sparse::Csr R = P.transpose(bt);
+    sparse::Csr Ac = sparse::galerkin_product(R, lvl.A, P, bt)
+                         .pruned(opts.galerkin_prune_tol, bt);
 
     lvl.P = std::move(P);
     lvl.R = std::move(R);

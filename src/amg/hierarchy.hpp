@@ -25,6 +25,25 @@ struct Options {
   int max_levels = 30;
   int min_coarse_size = 16;  ///< stop coarsening below this many rows
   double galerkin_prune_tol = 1e-12;  ///< drop numerically-zero RAP entries
+  /// Worker threads of the construction kernels (strength, interpolation,
+  /// transpose, Galerkin SpGEMM).  <= 0 = auto: COLLOM_BUILD_THREADS, else
+  /// COLLOM_SIM_THREADS, else hardware concurrency (sparse::Threads).  The
+  /// built hierarchy is bit-identical for every width, so this knob is
+  /// wall-time-only and never part of a hierarchy's identity (the
+  /// harness::HierarchyCache key and operator== both ignore it).
+  int threads = 0;
+
+  /// Identity comparison: every field that shapes the built hierarchy —
+  /// deliberately excluding the wall-time-only `threads` knob, so
+  /// hierarchies built at different widths compare equal.
+  bool operator==(const Options& o) const {
+    return strength_theta == o.strength_theta &&
+           coarsen_algo == o.coarsen_algo &&
+           interp_max_elements == o.interp_max_elements &&
+           max_levels == o.max_levels &&
+           min_coarse_size == o.min_coarse_size &&
+           galerkin_prune_tol == o.galerkin_prune_tol;
+  }
 };
 
 /// One level: operator plus (except on the coarsest) the transfer operators
@@ -38,6 +57,8 @@ struct Level {
 
   bool is_coarsest() const { return cpoints.empty(); }
   int n() const { return A.rows(); }
+
+  bool operator==(const Level&) const = default;
 };
 
 /// A full AMG hierarchy in canonical numbering.
@@ -51,8 +72,12 @@ struct Hierarchy {
   /// Total nonzeros over all levels / fine nonzeros (operator complexity).
   double operator_complexity() const;
 
-  /// Build from a (square, SPD-ish) fine operator.
+  /// Build from a (square, SPD-ish) fine operator.  Construction is
+  /// threaded per Options::threads; the result is bit-identical for every
+  /// width (see docs/ARCHITECTURE.md, "Parallel construction").
   static Hierarchy build(sparse::Csr A, const Options& opts = {});
+
+  bool operator==(const Hierarchy&) const = default;
 };
 
 }  // namespace amg

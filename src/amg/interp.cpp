@@ -1,13 +1,94 @@
 #include "amg/interp.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+
+#include "util/worker_pool.hpp"
 
 namespace amg {
 
+namespace {
+
+/// Per-row interpolation weights of F point i, written into `row` as
+/// (coarse col, weight) pairs in ascending column order.  Shared by the
+/// count and fill passes so both see the identical result (the determinism
+/// and exact-preallocation contracts hinge on that).
+void interp_row(const sparse::Csr& A, const sparse::Csr& S,
+                const std::vector<CF>& cf, const std::vector<int>& coarse_id,
+                int max_elements, int i,
+                std::vector<std::pair<int, double>>& row) {
+  auto scols = S.row_cols(i);
+  auto acols = A.row_cols(i);
+  auto avals = A.row_vals(i);
+
+  double diag = 0.0;
+  double sum_neg = 0.0, sum_pos = 0.0;    // all off-diagonal mass
+  double csum_neg = 0.0, csum_pos = 0.0;  // strong-C mass
+  row.clear();
+  for (std::size_t k = 0; k < acols.size(); ++k) {
+    const int j = acols[k];
+    const double v = avals[k];
+    if (j == i) {
+      diag = v;
+      continue;
+    }
+    if (v < 0)
+      sum_neg += v;
+    else
+      sum_pos += v;
+    const bool strong = std::binary_search(scols.begin(), scols.end(), j);
+    if (strong && cf[j] == CF::coarse) {
+      row.emplace_back(coarse_id[j], v);
+      if (v < 0)
+        csum_neg += v;
+      else
+        csum_pos += v;
+    }
+  }
+  if (row.empty()) return;  // F point without strong C neighbors
+  if (diag == 0.0)
+    throw sparse::Error("direct_interpolation: zero diagonal");
+
+  // Positive couplings with no positive strong C: lump onto the diagonal.
+  double eff_diag = diag;
+  double alpha = csum_neg != 0.0 ? sum_neg / csum_neg : 0.0;
+  double beta = 0.0;
+  if (sum_pos != 0.0) {
+    if (csum_pos != 0.0)
+      beta = sum_pos / csum_pos;
+    else
+      eff_diag += sum_pos;
+  }
+  for (auto& [c, v] : row)
+    v = -(v < 0 ? alpha : beta) * v / eff_diag;
+
+  // Truncate to the largest-|w| entries, preserving the row sum.
+  if (static_cast<int>(row.size()) > max_elements) {
+    std::partial_sort(row.begin(), row.begin() + max_elements, row.end(),
+                      [](const auto& a, const auto& b) {
+                        return std::abs(a.second) > std::abs(b.second);
+                      });
+    double full = 0.0, kept = 0.0;
+    for (const auto& [c, v] : row) full += v;
+    row.resize(max_elements);
+    for (const auto& [c, v] : row) kept += v;
+    if (kept != 0.0) {
+      const double scale = full / kept;
+      for (auto& [c, v] : row) v *= scale;
+    }
+  }
+  // Drop exact zeros and restore ascending column order (truncation
+  // reordered by magnitude).
+  std::erase_if(row, [](const auto& cv) { return cv.second == 0.0; });
+  std::sort(row.begin(), row.end());
+}
+
+}  // namespace
+
 sparse::Csr direct_interpolation(const sparse::Csr& A, const sparse::Csr& S,
-                                 const std::vector<CF>& cf,
-                                 int max_elements) {
+                                 const std::vector<CF>& cf, int max_elements,
+                                 sparse::Threads threads) {
   const int n = A.rows();
   if (static_cast<int>(cf.size()) != n)
     throw sparse::Error("direct_interpolation: cf size mismatch");
@@ -20,79 +101,49 @@ sparse::Csr direct_interpolation(const sparse::Csr& A, const sparse::Csr& S,
   for (int i = 0; i < n; ++i)
     if (cf[i] == CF::coarse) coarse_id[i] = nc++;
 
-  std::vector<sparse::Triplet> tr;
-  std::vector<std::pair<int, double>> row;  // (coarse col, weight)
-  for (int i = 0; i < n; ++i) {
-    if (cf[i] == CF::coarse) {
-      tr.push_back(sparse::Triplet{i, coarse_id[i], 1.0});
-      continue;
-    }
-    // Strong C neighbors of F point i.
-    auto scols = S.row_cols(i);
-    auto acols = A.row_cols(i);
-    auto avals = A.row_vals(i);
+  const int nt = std::max(1, std::min(threads.resolved(), n));
+  const std::size_t chunk = util::row_chunk(n, nt);
+  util::WorkerPool pool(nt);  // shared by the two passes
 
-    double diag = 0.0;
-    double sum_neg = 0.0, sum_pos = 0.0;        // all off-diagonal mass
-    double csum_neg = 0.0, csum_pos = 0.0;      // strong-C mass
-    row.clear();
-    for (std::size_t k = 0; k < acols.size(); ++k) {
-      const int j = acols[k];
-      const double v = avals[k];
-      if (j == i) {
-        diag = v;
+  // Phase 1 — symbolic: each row's final entry count (C rows inject).
+  std::vector<long> rowptr(n + 1, 0);
+  std::vector<std::vector<std::pair<int, double>>> scratch(nt);
+  pool.run(n, chunk, [&](std::size_t b, std::size_t e, int w) {
+    auto& row = scratch[w];
+    for (std::size_t i = b; i < e; ++i) {
+      if (cf[i] == CF::coarse) {
+        rowptr[i + 1] = 1;
         continue;
       }
-      if (v < 0)
-        sum_neg += v;
-      else
-        sum_pos += v;
-      const bool strong =
-          std::binary_search(scols.begin(), scols.end(), j);
-      if (strong && cf[j] == CF::coarse) {
-        row.emplace_back(coarse_id[j], v);
-        if (v < 0)
-          csum_neg += v;
-        else
-          csum_pos += v;
-      }
+      interp_row(A, S, cf, coarse_id, max_elements, static_cast<int>(i), row);
+      rowptr[i + 1] = static_cast<long>(row.size());
     }
-    if (row.empty()) continue;  // F point without strong C neighbors
-    if (diag == 0.0)
-      throw sparse::Error("direct_interpolation: zero diagonal");
+  });
+  const long nnz = util::exclusive_scan_counts(rowptr);
+  std::vector<int> colind(nnz);
+  std::vector<double> vals(nnz);
 
-    // Positive couplings with no positive strong C: lump onto the diagonal.
-    double eff_diag = diag;
-    double alpha = csum_neg != 0.0 ? sum_neg / csum_neg : 0.0;
-    double beta = 0.0;
-    if (sum_pos != 0.0) {
-      if (csum_pos != 0.0)
-        beta = sum_pos / csum_pos;
-      else
-        eff_diag += sum_pos;
-    }
-    for (auto& [c, v] : row)
-      v = -(v < 0 ? alpha : beta) * v / eff_diag;
-
-    // Truncate to the largest-|w| entries, preserving the row sum.
-    if (static_cast<int>(row.size()) > max_elements) {
-      std::partial_sort(row.begin(), row.begin() + max_elements, row.end(),
-                        [](const auto& a, const auto& b) {
-                          return std::abs(a.second) > std::abs(b.second);
-                        });
-      double full = 0.0, kept = 0.0;
-      for (const auto& [c, v] : row) full += v;
-      row.resize(max_elements);
-      for (const auto& [c, v] : row) kept += v;
-      if (kept != 0.0) {
-        const double scale = full / kept;
-        for (auto& [c, v] : row) v *= scale;
+  // Phase 2 — numeric: recompute each row into its fixed slice.
+  pool.run(n, chunk, [&](std::size_t b, std::size_t e, int w) {
+    auto& row = scratch[w];
+    for (std::size_t i = b; i < e; ++i) {
+      long pos = rowptr[i];
+      if (cf[i] == CF::coarse) {
+        colind[pos] = coarse_id[i];
+        vals[pos] = 1.0;
+        continue;
       }
+      interp_row(A, S, cf, coarse_id, max_elements, static_cast<int>(i), row);
+      for (const auto& [c, v] : row) {
+        colind[pos] = c;
+        vals[pos] = v;
+        ++pos;
+      }
+      assert(pos == rowptr[i + 1]);
     }
-    for (const auto& [c, v] : row)
-      if (v != 0.0) tr.push_back(sparse::Triplet{i, c, v});
-  }
-  return sparse::Csr::from_triplets(n, nc, std::move(tr));
+  });
+  return sparse::Csr::from_raw(n, nc, std::move(rowptr), std::move(colind),
+                               std::move(vals));
 }
 
 }  // namespace amg

@@ -22,8 +22,13 @@ namespace amg {
 /// Rows are then truncated to the `max_elements` largest-magnitude weights
 /// and rescaled to preserve the row sum.  F points with no strong C
 /// neighbor get an empty row (they rely on smoothing alone).
+///
+/// Row-parallel two-phase kernel: a symbolic pass computes every row's
+/// final entry count, a numeric pass recomputes the weights into the fixed
+/// row slices — output is bit-identical for every `threads` width.
 sparse::Csr direct_interpolation(const sparse::Csr& A, const sparse::Csr& S,
                                  const std::vector<CF>& cf,
-                                 int max_elements = 4);
+                                 int max_elements = 4,
+                                 sparse::Threads threads = {});
 
 }  // namespace amg

@@ -1,27 +1,66 @@
 #include "amg/strength.hpp"
 
 #include <algorithm>
+#include <cassert>
+
+#include "util/worker_pool.hpp"
 
 namespace amg {
 
-sparse::Csr strength(const sparse::Csr& A, double theta) {
+sparse::Csr strength(const sparse::Csr& A, double theta,
+                     sparse::Threads threads) {
   if (A.rows() != A.cols()) throw sparse::Error("strength: matrix not square");
   if (theta < 0.0 || theta > 1.0)
     throw sparse::Error("strength: theta must be in [0, 1]");
-  std::vector<sparse::Triplet> tr;
-  for (int i = 0; i < A.rows(); ++i) {
+  const int n = A.rows();
+  const int nt = std::max(1, std::min(threads.resolved(), n));
+  const std::size_t chunk = util::row_chunk(n, nt);
+  util::WorkerPool pool(nt);  // shared by the two passes
+
+  // The strength cut of row i (0 when the row has no negative
+  // off-diagonal, i.e. no strong connections).
+  const auto row_cut = [&](int i) {
     auto cols = A.row_cols(i);
     auto vals = A.row_vals(i);
     double max_neg = 0.0;
     for (std::size_t k = 0; k < cols.size(); ++k)
       if (cols[k] != i) max_neg = std::max(max_neg, -vals[k]);
-    if (max_neg <= 0.0) continue;  // no negative off-diagonals
-    const double cut = theta * max_neg;
-    for (std::size_t k = 0; k < cols.size(); ++k)
-      if (cols[k] != i && -vals[k] >= cut)
-        tr.push_back(sparse::Triplet{i, cols[k], 1.0});
-  }
-  return sparse::Csr::from_triplets(A.rows(), A.cols(), std::move(tr));
+    return max_neg > 0.0 ? theta * max_neg : -1.0;
+  };
+
+  // Phase 1 — count strong entries per row; phase 2 — fill the fixed
+  // slices.  Both apply the same predicate, so they agree exactly.
+  std::vector<long> rowptr(n + 1, 0);
+  pool.run(n, chunk, [&](std::size_t b, std::size_t e, int) {
+    for (std::size_t i = b; i < e; ++i) {
+      const double cut = row_cut(static_cast<int>(i));
+      if (cut < 0.0) continue;
+      auto cols = A.row_cols(static_cast<int>(i));
+      auto vals = A.row_vals(static_cast<int>(i));
+      long count = 0;
+      for (std::size_t k = 0; k < cols.size(); ++k)
+        if (cols[k] != static_cast<int>(i) && -vals[k] >= cut) ++count;
+      rowptr[i + 1] = count;
+    }
+  });
+  const long nnz = util::exclusive_scan_counts(rowptr);
+  std::vector<int> colind(nnz);
+  std::vector<double> svals(nnz, 1.0);
+  pool.run(n, chunk, [&](std::size_t b, std::size_t e, int) {
+    for (std::size_t i = b; i < e; ++i) {
+      const double cut = row_cut(static_cast<int>(i));
+      if (cut < 0.0) continue;
+      auto cols = A.row_cols(static_cast<int>(i));
+      auto vals = A.row_vals(static_cast<int>(i));
+      long pos = rowptr[i];
+      for (std::size_t k = 0; k < cols.size(); ++k)
+        if (cols[k] != static_cast<int>(i) && -vals[k] >= cut)
+          colind[pos++] = cols[k];
+      assert(pos == rowptr[i + 1]);
+    }
+  });
+  return sparse::Csr::from_raw(n, n, std::move(rowptr), std::move(colind),
+                               std::move(svals));
 }
 
 }  // namespace amg

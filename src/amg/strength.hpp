@@ -10,7 +10,9 @@ namespace amg {
 ///   -a_ij >= theta * max_{k != i} (-a_ik),
 /// i.e. j is a strong influence on i.  Values are 1.0 (pattern matrix).
 /// Rows whose off-diagonal entries are all non-negative have no strong
-/// connections.
-sparse::Csr strength(const sparse::Csr& A, double theta);
+/// connections.  Row-parallel two-phase kernel: output is bit-identical
+/// for every `threads` width.
+sparse::Csr strength(const sparse::Csr& A, double theta,
+                     sparse::Threads threads = {});
 
 }  // namespace amg

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -11,35 +12,28 @@
 #include <vector>
 
 #include "simmpi/types.hpp"
+#include "util/hash.hpp"
 
 namespace harness {
 
 namespace {
 
 using simmpi::SimError;
+using util::fnv1a;
 
 constexpr std::uint64_t kMagic = 0x434F4C4C48495231ull;  // "COLLHIR1"
-
-std::uint64_t fnv1a(const unsigned char* data, std::size_t n,
-                    std::uint64_t h = 0xcbf29ce484222325ull) {
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= data[i];
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
 
 /// Integrity checksum of a payload: FNV-1a over 8-byte chunks (plus a
 /// byte-wise tail), ~8x faster than byte-wise FNV on the multi-hundred-MB
 /// payloads of full-scale hierarchies.
 std::uint64_t payload_checksum(const unsigned char* data, std::size_t n) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
+  std::uint64_t h = util::kFnvOffsetBasis;
   std::size_t i = 0;
   for (; i + 8 <= n; i += 8) {
     std::uint64_t w;
     std::memcpy(&w, data + i, 8);
     h ^= w;
-    h *= 0x100000001b3ull;
+    h *= util::kFnvPrime;
     h ^= h >> 32;
   }
   return fnv1a(data + i, n - i, h);
@@ -241,8 +235,9 @@ void put_key(Writer& w, const HierarchyCache::Key& key) {
 
 }  // namespace
 
-HierarchyCache::HierarchyCache(std::filesystem::path dir)
-    : dir_(std::move(dir)) {}
+HierarchyCache::HierarchyCache(std::filesystem::path dir,
+                               std::uintmax_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {}
 
 HierarchyCache* HierarchyCache::global() {
   static std::optional<HierarchyCache> cache =
@@ -251,7 +246,10 @@ HierarchyCache* HierarchyCache::global() {
       if (std::string_view(v) == "0" || std::string_view(v) == "off")
         return std::nullopt;
     const char* dir = std::getenv("COLLOM_HIER_CACHE_DIR");
-    return HierarchyCache(dir && *dir ? dir : "hier-cache");
+    std::uintmax_t max_bytes = 0;
+    if (const char* m = std::getenv("COLLOM_HIER_CACHE_MAX_BYTES"))
+      max_bytes = std::strtoull(m, nullptr, 10);
+    return HierarchyCache(dir && *dir ? dir : "hier-cache", max_bytes);
   }();
   return cache ? &*cache : nullptr;
 }
@@ -360,7 +358,40 @@ bool HierarchyCache::store(const Key& key, const amg::DistHierarchy& dh) {
     std::filesystem::remove(tmp, ec);
     return false;
   }
+  evict_over_cap(dst);
   return true;
+}
+
+void HierarchyCache::evict_over_cap(const std::filesystem::path& keep) {
+  if (max_bytes_ == 0) return;
+  struct Entry {
+    std::filesystem::path path;
+    std::uintmax_t size;
+    std::filesystem::file_time_type mtime;
+  };
+  std::vector<Entry> entries;
+  std::uintmax_t total = 0;
+  std::error_code ec;
+  for (const auto& de : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!de.is_regular_file(ec) || de.path().extension() != ".chc") continue;
+    const std::uintmax_t size = de.file_size(ec);
+    if (ec) continue;
+    const auto mtime = de.last_write_time(ec);
+    if (ec) continue;
+    entries.push_back(Entry{de.path(), size, mtime});
+    total += size;
+  }
+  if (total <= max_bytes_) return;
+  // Oldest mtime first; the just-written entry is exempt even when it
+  // alone exceeds the cap (evicting it would make the store a no-op and
+  // the next run would rebuild and re-store it, thrashing forever).
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  for (const Entry& e : entries) {
+    if (total <= max_bytes_) break;
+    if (e.path == keep) continue;
+    if (std::filesystem::remove(e.path, ec)) total -= e.size;
+  }
 }
 
 }  // namespace harness

@@ -12,7 +12,10 @@
 ///
 /// Files live under `$COLLOM_HIER_CACHE_DIR` (default `hier-cache/` in the
 /// working directory: `build/hier-cache/` for the bench targets; set
-/// `COLLOM_HIER_CACHE=0` to disable).  The format is host-local (native
+/// `COLLOM_HIER_CACHE=0` to disable).  `$COLLOM_HIER_CACHE_MAX_BYTES`
+/// bounds the directory's total size: every store evicts oldest-mtime
+/// entries over the cap — never the entry just written — so a full sweep
+/// cannot grow the cache without bound.  The format is host-local (native
 /// endianness, raw IEEE doubles — exactly what the build would recompute)
 /// and versioned: loads reject files with a wrong magic, format version or
 /// key, a size mismatch, or a failing payload checksum, and the caller
@@ -49,13 +52,18 @@ class HierarchyCache {
     amg::Options opts{};
   };
 
-  explicit HierarchyCache(std::filesystem::path dir);
+  /// `max_bytes` caps the total size of `.chc` files under `dir` (0 = no
+  /// cap): store() evicts oldest-mtime entries above the cap, never the
+  /// entry it just wrote.
+  explicit HierarchyCache(std::filesystem::path dir,
+                          std::uintmax_t max_bytes = 0);
 
-  /// Process-wide instance honoring COLLOM_HIER_CACHE[_DIR]; null when the
-  /// cache is disabled.
+  /// Process-wide instance honoring COLLOM_HIER_CACHE[_DIR] and
+  /// COLLOM_HIER_CACHE_MAX_BYTES; null when the cache is disabled.
   static HierarchyCache* global();
 
   const std::filesystem::path& dir() const { return dir_; }
+  std::uintmax_t max_bytes() const { return max_bytes_; }
 
   /// Content-addressed file path of `key` (existence not implied).
   std::filesystem::path path_of(const Key& key) const;
@@ -73,7 +81,12 @@ class HierarchyCache {
   long misses() const { return misses_; }
 
  private:
+  /// Enforce max_bytes_ over the `.chc` files of dir_, oldest mtime first,
+  /// never removing `keep` (the entry the caller just wrote).
+  void evict_over_cap(const std::filesystem::path& keep);
+
   std::filesystem::path dir_;
+  std::uintmax_t max_bytes_ = 0;
   long hits_ = 0;
   long misses_ = 0;
 };

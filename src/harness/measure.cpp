@@ -160,28 +160,33 @@ int crossover_iterations(double base_init, double base_iter, double opt_init,
   return -1;
 }
 
-const amg::Hierarchy& paper_hierarchy(long rows) {
+const amg::Hierarchy& paper_hierarchy(long rows, int build_threads) {
   // Single-entry cache: benches sweep sizes sequentially and the largest
-  // hierarchy is hundreds of MB.
+  // hierarchy is hundreds of MB.  build_threads is wall-time-only (the
+  // built hierarchy is width-independent), so it is not part of the key.
   static long cached_rows = -1;
   static std::optional<amg::Hierarchy> cached;
   if (cached_rows != rows) {
     int nx = 0, ny = 0;
     sparse::factor_grid(rows, nx, ny);
-    cached.emplace(amg::Hierarchy::build(sparse::paper_problem(nx, ny)));
+    amg::Options opts;
+    opts.threads = build_threads;
+    cached.emplace(amg::Hierarchy::build(sparse::paper_problem(nx, ny), opts));
     cached_rows = rows;
   }
   return *cached;
 }
 
-const amg::DistHierarchy& paper_dist_hierarchy(long rows, int nranks) {
+const amg::DistHierarchy& paper_dist_hierarchy(long rows, int nranks,
+                                               int build_threads) {
   static long cached_rows = -1;
   static int cached_ranks = -1;
   static std::optional<amg::DistHierarchy> cached;
   if (cached_rows != rows || cached_ranks != nranks) {
     // Thin lookup: the process memo misses, so consult the cross-process
     // disk cache before paying for coarsening + distribution.  A disk hit
-    // skips the canonical paper_hierarchy build entirely.
+    // skips the canonical paper_hierarchy build entirely.  The key ignores
+    // Options::threads: every width builds identical bytes.
     const HierarchyCache::Key key{rows, nranks, amg::Options{}};
     HierarchyCache* disk = HierarchyCache::global();
     std::optional<amg::DistHierarchy> loaded;
@@ -189,7 +194,8 @@ const amg::DistHierarchy& paper_dist_hierarchy(long rows, int nranks) {
     if (loaded) {
       cached = std::move(loaded);
     } else {
-      cached.emplace(amg::distribute_hierarchy(paper_hierarchy(rows), nranks));
+      cached.emplace(amg::distribute_hierarchy(
+          paper_hierarchy(rows, build_threads), nranks));
       if (disk) disk->store(key, *cached);
     }
     cached_rows = rows;

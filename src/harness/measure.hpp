@@ -45,6 +45,14 @@ struct MeasureConfig {
   /// ::threads: 0 = auto via COLLOM_SIM_THREADS / hardware concurrency).
   /// Any value produces the same measured virtual times.
   int threads = 0;
+  /// Worker threads of hierarchy *construction* (amg::Options::threads:
+  /// 0 = auto via COLLOM_BUILD_THREADS, else COLLOM_SIM_THREADS, else
+  /// hardware).  The measure/solve runners never build hierarchies
+  /// themselves — callers that do (e.g. benchfig::measure_all) forward
+  /// this to paper_dist_hierarchy.  Wall-time-only: built hierarchies are
+  /// bit-identical for every width, so measured results never depend on
+  /// it.
+  int build_threads = 0;
   simmpi::GraphAlgo graph_algo = simmpi::GraphAlgo::handshake;
   bool verify_payload = true;  ///< check delivered halos against truth
   bool lpt_balance = true;     ///< leader assignment (ablation knob)
@@ -80,9 +88,12 @@ int crossover_iterations(double base_init, double base_iter, double opt_init,
 
 /// Build (and memoize per (rows, options)) the canonical hierarchy of the
 /// paper's rotated anisotropic diffusion problem with `rows` unknowns.
-const amg::Hierarchy& paper_hierarchy(long rows);
+/// `build_threads` sets the construction width (0 = auto, see
+/// MeasureConfig::build_threads); it never changes the built hierarchy.
+const amg::Hierarchy& paper_hierarchy(long rows, int build_threads = 0);
 
 /// Memoized distribution of the paper hierarchy over `nranks`.
-const amg::DistHierarchy& paper_dist_hierarchy(long rows, int nranks);
+const amg::DistHierarchy& paper_dist_hierarchy(long rows, int nranks,
+                                               int build_threads = 0);
 
 }  // namespace harness

@@ -1,142 +1,14 @@
 #include "simmpi/engine.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <condition_variable>
-#include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <sstream>
-#include <thread>
 
 #include "simmpi/coll.hpp"
+#include "util/worker_pool.hpp"
 
 namespace simmpi {
-
-namespace {
-
-/// Resolve Options::threads: explicit value, else COLLOM_SIM_THREADS, else
-/// hardware concurrency.  Always >= 1.
-int resolve_threads(int requested) {
-  int t = requested;
-  if (t <= 0) {
-    if (const char* env = std::getenv("COLLOM_SIM_THREADS")) t = std::atoi(env);
-  }
-  if (t <= 0) t = static_cast<int>(std::thread::hardware_concurrency());
-  return std::clamp(t, 1, 512);
-}
-
-/// Fixed pool of workers resuming one phase's coroutines.
-///
-/// The pool only runs *between* the engine's phase barriers: `run_phase`
-/// hands out the runnable handles, every worker (the caller included)
-/// resumes disjoint handles until each parks or completes, and `run_phase`
-/// returns only after all of them did.  All engine state a resumed
-/// coroutine touches is per-rank (see Engine::RankState), so workers never
-/// contend; the mutex handoffs around a phase give the commit step (and the
-/// next phase's workers) a view of every coroutine frame written this
-/// phase.
-///
-/// Coroutine caveat: handles are resumed on whatever worker grabs them, so
-/// a rank coroutine may migrate threads across suspension points.  Nothing
-/// here may rely on thread-locals across a co_await — and the g++ 12
-/// braced-temporary lifetime bug applies to coroutine code run by this pool
-/// exactly as it does single-threaded (see docs/COROUTINE_PITFALLS.md).
-class WorkerPool {
- public:
-  explicit WorkerPool(int nthreads) : nthreads_(std::max(1, nthreads)) {
-    threads_.reserve(nthreads_ - 1);
-    for (int i = 0; i < nthreads_ - 1; ++i)
-      threads_.emplace_back([this] { worker_loop(); });
-  }
-
-  ~WorkerPool() {
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      stop_ = true;
-      ++gen_;
-    }
-    cv_.notify_all();
-    for (auto& t : threads_) t.join();
-  }
-
-  WorkerPool(const WorkerPool&) = delete;
-  WorkerPool& operator=(const WorkerPool&) = delete;
-
-  /// Resume every handle of the phase; blocks until all have run.  The
-  /// first exception escaping a resume (in handle order) is rethrown.
-  void run_phase(std::span<std::coroutine_handle<>> items) {
-    if (items.empty()) return;
-    errs_.assign(items.size(), nullptr);
-    items_ = items;
-    next_.store(0, std::memory_order_relaxed);
-    // Tiny phases aren't worth a pool wakeup; resuming inline is identical
-    // by the determinism contract (the schedule never depends on *who*
-    // resumes a handle).
-    if (nthreads_ == 1 || items.size() < 4) {
-      run_items();
-    } else {
-      {
-        std::lock_guard<std::mutex> lk(mu_);
-        pending_ = nthreads_ - 1;
-        ++gen_;
-      }
-      cv_.notify_all();
-      run_items();
-      std::unique_lock<std::mutex> lk(mu_);
-      done_cv_.wait(lk, [this] { return pending_ == 0; });
-    }
-    for (auto& e : errs_)
-      if (e) std::rethrow_exception(e);
-  }
-
- private:
-  void run_items() {
-    // Blocked handout: consecutive ranks stay on one worker (their clocks
-    // and stats are adjacent in memory).
-    constexpr std::size_t kChunk = 8;
-    const std::size_t n = items_.size();
-    for (;;) {
-      const std::size_t begin =
-          next_.fetch_add(kChunk, std::memory_order_relaxed);
-      if (begin >= n) break;
-      const std::size_t end = std::min(n, begin + kChunk);
-      for (std::size_t i = begin; i < end; ++i) {
-        try {
-          items_[i].resume();
-        } catch (...) {
-          errs_[i] = std::current_exception();
-        }
-      }
-    }
-  }
-
-  void worker_loop() {
-    std::uint64_t seen = 0;
-    std::unique_lock<std::mutex> lk(mu_);
-    for (;;) {
-      cv_.wait(lk, [&] { return stop_ || gen_ != seen; });
-      if (stop_) return;
-      seen = gen_;
-      lk.unlock();
-      run_items();
-      lk.lock();
-      if (--pending_ == 0) done_cv_.notify_one();
-    }
-  }
-
-  const int nthreads_;
-  std::vector<std::thread> threads_;
-  std::span<std::coroutine_handle<>> items_;
-  std::vector<std::exception_ptr> errs_;
-  std::atomic<std::size_t> next_{0};
-  std::mutex mu_;
-  std::condition_variable cv_, done_cv_;
-  std::uint64_t gen_ = 0;
-  int pending_ = 0;
-  bool stop_ = false;
-};
-
-}  // namespace
 
 Context::Context(Engine& eng, int rank)
     : eng_(&eng), rank_(rank), world_(&eng, eng.world_data(), rank) {}
@@ -155,7 +27,7 @@ Engine::Engine(Machine machine, CostParams params)
 Engine::Engine(Machine machine, CostParams params, Options opts)
     : machine_(std::move(machine)),
       model_(params),
-      threads_(resolve_threads(opts.threads)),
+      threads_(util::resolve_threads(opts.threads, {"COLLOM_SIM_THREADS"})),
       clocks_(machine_.num_ranks(), 0.0),
       nic_free_(machine_.num_nodes(), 0.0),
       stats_(machine_.num_ranks()),
@@ -171,9 +43,17 @@ void Engine::run(const RankProgram& program) {
   if (running_) throw SimError("Engine::run: already running");
   running_ = true;
   struct Guard {
-    bool& flag;
-    ~Guard() { flag = false; }
-  } guard{running_};
+    Engine& eng;
+    ~Guard() {
+      // Clear in-flight state on *every* exit — in particular the
+      // exception paths (phase error, rank exception), where parked
+      // coroutine handles are about to dangle once the tasks vector
+      // unwinds.  A later run() must never deliver into a stale mailbox
+      // or wake a destroyed coroutine.
+      eng.check_quiescent();
+      eng.running_ = false;
+    }
+  } guard{*this};
 
   const int nranks = machine_.num_ranks();
   std::vector<std::unique_ptr<Context>> ctxs;
@@ -187,12 +67,33 @@ void Engine::run(const RankProgram& program) {
   for (int r = 0; r < nranks; ++r) ready_.push_back(tasks[r].handle());
 
   {
-    WorkerPool pool(std::min(threads_, nranks));
+    // One phase's rank coroutines are resumed on the shared WorkerPool
+    // (util/worker_pool.hpp).  All engine state a resumed coroutine touches
+    // is per-rank (see Engine::RankState), so workers never contend, and
+    // the pool's handoffs give the commit step a view of every coroutine
+    // frame written this phase.  Blocked handout (chunks of 8) keeps
+    // consecutive ranks on one worker — their clocks and stats are
+    // adjacent in memory.
+    util::WorkerPool pool(std::min(threads_, nranks));
     std::vector<std::coroutine_handle<>> phase;
+    std::vector<std::exception_ptr> errs;
     while (!ready_.empty()) {
       phase.clear();
       phase.swap(ready_);
-      pool.run_phase(phase);
+      errs.assign(phase.size(), nullptr);
+      pool.run(phase.size(), 8, [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t i = b; i < e; ++i) {
+          try {
+            phase[i].resume();
+          } catch (...) {
+            errs[i] = std::current_exception();
+          }
+        }
+      });
+      // First exception in handle order wins (matching the pre-pool
+      // behaviour); every handle of the phase has been resumed regardless.
+      for (auto& ep : errs)
+        if (ep) std::rethrow_exception(ep);
       commit_phase();
     }
   }
@@ -218,13 +119,11 @@ void Engine::run(const RankProgram& program) {
       os << " [ctx=" << key.ctx << " " << key.src << "->" << key.dst
          << " tag=" << key.tag << "]";
     }
-    check_quiescent();
-    throw SimError(os.str());
+    throw SimError(os.str());  // Guard clears the in-flight state
   }
   long pending = 0;
   for (const auto& rs : rank_) pending += rs.inbox_count;
   if (pending != 0) {
-    check_quiescent();
     throw SimError("Engine::run: " + std::to_string(pending) +
                    " message(s) posted but never received");
   }

@@ -1,10 +1,20 @@
 #include "sparse/csr.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <numeric>
+#include <string>
+#include <utility>
+
+#include "util/worker_pool.hpp"
 
 namespace sparse {
+
+int Threads::resolved() const {
+  return util::resolve_threads(count,
+                               {"COLLOM_BUILD_THREADS", "COLLOM_SIM_THREADS"});
+}
 
 Csr::Csr(int rows, int cols) : rows_(rows), cols_(cols), rowptr_(rows + 1, 0) {
   if (rows < 0 || cols < 0) throw Error("Csr: negative dimensions");
@@ -110,99 +120,274 @@ std::vector<double> Csr::diagonal() const {
   return d;
 }
 
-Csr Csr::transpose() const {
+Csr Csr::transpose(Threads threads) const {
   Csr t(cols_, rows_);
-  std::vector<long> count(cols_ + 1, 0);
-  for (int c : colind_) ++count[c + 1];
-  for (int c = 0; c < cols_; ++c) count[c + 1] += count[c];
-  t.rowptr_ = count;
-  t.colind_.resize(colind_.size());
-  t.vals_.resize(vals_.size());
-  std::vector<long> next(t.rowptr_.begin(), t.rowptr_.end() - 1);
-  for (int r = 0; r < rows_; ++r) {
-    for (long k = rowptr_[r]; k < rowptr_[r + 1]; ++k) {
-      const long pos = next[colind_[k]]++;
-      t.colind_[pos] = r;
-      t.vals_[pos] = vals_[k];
+  // Blocked two-phase scatter.  Source rows are split into `nb` contiguous
+  // blocks; per-block column histograms fix, for every block, where its
+  // entries of each output row start.  Entry (r, c) then lands at
+  // rowptr[c] + (its rank among column-c entries in ascending source-row
+  // order) — a function of the matrix alone, so the output is identical
+  // for every block/thread count.  nb is capped to bound the transient
+  // histogram memory (nb * cols longs).
+  const int nb = std::max(1, std::min({threads.resolved(), 8, rows_}));
+  std::vector<long> bounds(nb + 1);
+  for (int b = 0; b <= nb; ++b)
+    bounds[b] = static_cast<long>(rows_) * b / nb;
+  std::vector<std::vector<long>> bcount(nb, std::vector<long>(cols_, 0));
+  util::WorkerPool pool(nb);  // one worker per block; both passes reuse it
+  pool.run(nb, 1, [&](std::size_t b0, std::size_t b1, int) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      auto& count = bcount[b];
+      for (long k = rowptr_[bounds[b]]; k < rowptr_[bounds[b + 1]]; ++k)
+        ++count[colind_[k]];
+    }
+  });
+  long run = 0;
+  for (int c = 0; c < cols_; ++c) {
+    t.rowptr_[c] = run;
+    for (int b = 0; b < nb; ++b) {
+      const long n = bcount[b][c];
+      bcount[b][c] = run;  // becomes block b's write cursor for column c
+      run += n;
     }
   }
+  t.rowptr_[cols_] = run;
+  t.colind_.resize(colind_.size());
+  t.vals_.resize(vals_.size());
+  pool.run(nb, 1, [&](std::size_t b0, std::size_t b1, int) {
+    for (std::size_t b = b0; b < b1; ++b) {
+      auto& next = bcount[b];
+      for (long r = bounds[b]; r < bounds[b + 1]; ++r) {
+        for (long k = rowptr_[r]; k < rowptr_[r + 1]; ++k) {
+          const long pos = next[colind_[k]]++;
+          t.colind_[pos] = static_cast<int>(r);
+          t.vals_[pos] = vals_[k];
+        }
+      }
+    }
+  });
   return t;  // columns ascend because source rows were scanned in order
 }
 
-Csr Csr::multiply(const Csr& B) const {
+Csr Csr::multiply(const Csr& B, Threads threads) const {
   if (cols_ != B.rows_) throw Error("Csr::multiply: dimension mismatch");
   Csr C(rows_, B.cols_);
-  std::vector<double> acc(B.cols_, 0.0);
-  std::vector<int> marker(B.cols_, -1);
-  std::vector<int> touched;
-  for (int r = 0; r < rows_; ++r) {
-    touched.clear();
-    for (long ka = rowptr_[r]; ka < rowptr_[r + 1]; ++ka) {
-      const int j = colind_[ka];
-      const double av = vals_[ka];
-      for (long kb = B.rowptr_[j]; kb < B.rowptr_[j + 1]; ++kb) {
-        const int c = B.colind_[kb];
-        if (marker[c] != r) {
-          marker[c] = r;
-          acc[c] = 0.0;
-          touched.push_back(c);
+  // Gustavson needs dense per-worker scratch (~12 bytes per output
+  // column: int marker + double accumulator); cap the width so the total
+  // stays within ~256 MiB on many-core auto-width hosts.  Width caps are
+  // wall-time-only — output bytes never depend on them.
+  const long scratch_per_worker = static_cast<long>(B.cols_) * 12;
+  const int max_width =
+      scratch_per_worker > 0
+          ? static_cast<int>(std::max<long>(
+                1, std::min<long>(512, (256L << 20) / scratch_per_worker)))
+          : 512;
+  const int nt =
+      std::max(1, std::min({threads.resolved(), rows_, max_width}));
+  const std::size_t chunk = util::row_chunk(rows_, nt);
+  util::WorkerPool pool(nt);  // shared by the two passes
+
+  // Phase 1 — symbolic: count each output row's distinct columns.  One
+  // marker per worker; output row indices are globally unique, so marking
+  // a column with the row that saw it needs no reset between rows.
+  std::vector<std::vector<int>> markers(nt, std::vector<int>(B.cols_, -1));
+  pool.run(rows_, chunk, [&](std::size_t b, std::size_t e, int w) {
+        auto& marker = markers[w];
+        for (std::size_t r = b; r < e; ++r) {
+          long count = 0;
+          for (long ka = rowptr_[r]; ka < rowptr_[r + 1]; ++ka) {
+            const int j = colind_[ka];
+            for (long kb = B.rowptr_[j]; kb < B.rowptr_[j + 1]; ++kb) {
+              const int c = B.colind_[kb];
+              if (marker[c] != static_cast<int>(r)) {
+                marker[c] = static_cast<int>(r);
+                ++count;
+              }
+            }
+          }
+          C.rowptr_[r + 1] = count;
         }
-        acc[c] += av * B.vals_[kb];
-      }
-    }
-    std::sort(touched.begin(), touched.end());
-    for (int c : touched) {
-      C.colind_.push_back(c);
-      C.vals_.push_back(acc[c]);
-    }
-    C.rowptr_[r + 1] = static_cast<long>(C.colind_.size());
-  }
+      });
+  const long nnz = util::exclusive_scan_counts(C.rowptr_);
+  C.colind_.resize(nnz);
+  C.vals_.resize(nnz);
+
+  // Phase 2 — numeric: Gustavson accumulation per row, written into the
+  // row's fixed slice.  Markers carry phase-1 row marks, so reset them.
+  for (auto& m : markers) std::fill(m.begin(), m.end(), -1);
+  std::vector<std::vector<double>> accs(nt, std::vector<double>(B.cols_, 0.0));
+  std::vector<std::vector<int>> touched(nt);
+  pool.run(rows_, chunk, [&](std::size_t b, std::size_t e, int w) {
+        auto& marker = markers[w];
+        auto& acc = accs[w];
+        auto& tch = touched[w];
+        for (std::size_t r = b; r < e; ++r) {
+          tch.clear();
+          for (long ka = rowptr_[r]; ka < rowptr_[r + 1]; ++ka) {
+            const int j = colind_[ka];
+            const double av = vals_[ka];
+            for (long kb = B.rowptr_[j]; kb < B.rowptr_[j + 1]; ++kb) {
+              const int c = B.colind_[kb];
+              if (marker[c] != static_cast<int>(r)) {
+                marker[c] = static_cast<int>(r);
+                acc[c] = 0.0;
+                tch.push_back(c);
+              }
+              acc[c] += av * B.vals_[kb];
+            }
+          }
+          std::sort(tch.begin(), tch.end());
+          long pos = C.rowptr_[r];
+          for (int c : tch) {
+            C.colind_[pos] = c;
+            C.vals_[pos] = acc[c];
+            ++pos;
+          }
+          assert(pos == C.rowptr_[r + 1]);
+        }
+      });
+  // Exact preallocation: the symbolic pass sized the output; any growth
+  // here would mean the two phases disagreed.
+  assert(C.colind_.capacity() == C.colind_.size());
+  assert(C.vals_.capacity() == C.vals_.size());
   return C;
 }
 
-Csr Csr::select_rows(std::span<const int> rows) const {
+Csr Csr::select_rows(std::span<const int> rows, Threads threads) const {
   Csr out(static_cast<int>(rows.size()), cols_);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const int r = rows[i];
-    if (r < 0 || r >= rows_) throw Error("Csr::select_rows: row out of range");
-    for (long k = rowptr_[r]; k < rowptr_[r + 1]; ++k) {
-      out.colind_.push_back(colind_[k]);
-      out.vals_.push_back(vals_[k]);
-    }
-    out.rowptr_[i + 1] = static_cast<long>(out.colind_.size());
-  }
+  const int nt = std::max(
+      1, std::min(threads.resolved(), static_cast<int>(rows.size())));
+  const std::size_t chunk = util::row_chunk(rows.size(), nt);
+  util::WorkerPool pool(nt);
+  pool.run(rows.size(), chunk, [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t i = b; i < e; ++i) {
+          const int r = rows[i];
+          if (r < 0 || r >= rows_)
+            throw Error("Csr::select_rows: row out of range");
+          out.rowptr_[i + 1] = rowptr_[r + 1] - rowptr_[r];
+        }
+      });
+  const long nnz = util::exclusive_scan_counts(out.rowptr_);
+  out.colind_.resize(nnz);
+  out.vals_.resize(nnz);
+  pool.run(rows.size(), chunk, [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t i = b; i < e; ++i) {
+          const int r = rows[i];
+          std::copy(colind_.begin() + rowptr_[r],
+                    colind_.begin() + rowptr_[r + 1],
+                    out.colind_.begin() + out.rowptr_[i]);
+          std::copy(vals_.begin() + rowptr_[r],
+                    vals_.begin() + rowptr_[r + 1],
+                    out.vals_.begin() + out.rowptr_[i]);
+        }
+      });
+  assert(out.colind_.capacity() == out.colind_.size());
+  assert(out.vals_.capacity() == out.vals_.size());
   return out;
 }
 
 Csr Csr::permuted(std::span<const int> row_perm,
-                  std::span<const int> col_perm) const {
+                  std::span<const int> col_perm, Threads threads) const {
   if (static_cast<int>(row_perm.size()) != rows_ ||
       static_cast<int>(col_perm.size()) != cols_)
     throw Error("Csr::permuted: permutation size mismatch");
-  std::vector<Triplet> tr;
-  tr.reserve(colind_.size());
-  for (int r = 0; r < rows_; ++r)
-    for (long k = rowptr_[r]; k < rowptr_[r + 1]; ++k)
-      tr.push_back(Triplet{row_perm[r], col_perm[colind_[k]], vals_[k]});
-  return from_triplets(rows_, cols_, std::move(tr));
-}
-
-Csr Csr::pruned(double tol) const {
-  Csr out(rows_, cols_);
-  for (int r = 0; r < rows_; ++r) {
-    for (long k = rowptr_[r]; k < rowptr_[r + 1]; ++k) {
-      if (colind_[k] == r || std::abs(vals_[k]) > tol) {
-        out.colind_.push_back(colind_[k]);
-        out.vals_.push_back(vals_[k]);
-      }
+  // Both maps must be bijections: a duplicate target would silently merge
+  // rows (or sum entries), corrupting the matrix rather than failing.
+  const auto check_bijection = [](std::span<const int> p, int n,
+                                  const char* what) {
+    std::vector<char> seen(n, 0);
+    for (int v : p) {
+      if (v < 0 || v >= n)
+        throw Error(std::string("Csr::permuted: ") + what +
+                    " entry out of range");
+      if (seen[v])
+        throw Error(std::string("Csr::permuted: ") + what +
+                    " is not a permutation (duplicate target " +
+                    std::to_string(v) + ")");
+      seen[v] = 1;
     }
-    out.rowptr_[r + 1] = static_cast<long>(out.colind_.size());
-  }
+  };
+  check_bijection(row_perm, rows_, "row_perm");
+  check_bijection(col_perm, cols_, "col_perm");
+
+  std::vector<int> inv(rows_);  // output row i comes from source row inv[i]
+  for (int r = 0; r < rows_; ++r) inv[row_perm[r]] = r;
+
+  Csr out(rows_, cols_);
+  const int nt = std::max(1, std::min(threads.resolved(), rows_));
+  const std::size_t chunk = util::row_chunk(rows_, nt);
+  util::WorkerPool pool(nt);
+  pool.run(rows_, chunk, [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t i = b; i < e; ++i) {
+          const int r = inv[i];
+          out.rowptr_[i + 1] = rowptr_[r + 1] - rowptr_[r];
+        }
+      });
+  const long nnz = util::exclusive_scan_counts(out.rowptr_);
+  out.colind_.resize(nnz);
+  out.vals_.resize(nnz);
+  std::vector<std::vector<std::pair<int, double>>> scratch(nt);
+  pool.run(rows_, chunk, [&](std::size_t b, std::size_t e, int w) {
+        auto& row = scratch[w];
+        for (std::size_t i = b; i < e; ++i) {
+          const int r = inv[i];
+          row.clear();
+          for (long k = rowptr_[r]; k < rowptr_[r + 1]; ++k)
+            row.emplace_back(col_perm[colind_[k]], vals_[k]);
+          std::sort(row.begin(), row.end());
+          long pos = out.rowptr_[i];
+          for (const auto& [c, v] : row) {
+            out.colind_[pos] = c;
+            out.vals_[pos] = v;
+            ++pos;
+          }
+        }
+      });
+  assert(out.colind_.capacity() == out.colind_.size());
+  assert(out.vals_.capacity() == out.vals_.size());
   return out;
 }
 
-Csr galerkin_product(const Csr& R, const Csr& A, const Csr& P) {
-  return R.multiply(A.multiply(P));
+Csr Csr::pruned(double tol, Threads threads) const {
+  Csr out(rows_, cols_);
+  const int nt = std::max(1, std::min(threads.resolved(), rows_));
+  const std::size_t chunk = util::row_chunk(rows_, nt);
+  util::WorkerPool pool(nt);
+  const auto keep = [&](long k, long r) {
+    return colind_[k] == r || std::abs(vals_[k]) > tol;
+  };
+  pool.run(rows_, chunk, [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t r = b; r < e; ++r) {
+          long count = 0;
+          for (long k = rowptr_[r]; k < rowptr_[r + 1]; ++k)
+            if (keep(k, static_cast<long>(r))) ++count;
+          out.rowptr_[r + 1] = count;
+        }
+      });
+  const long nnz = util::exclusive_scan_counts(out.rowptr_);
+  out.colind_.resize(nnz);
+  out.vals_.resize(nnz);
+  pool.run(rows_, chunk, [&](std::size_t b, std::size_t e, int) {
+        for (std::size_t r = b; r < e; ++r) {
+          long pos = out.rowptr_[r];
+          for (long k = rowptr_[r]; k < rowptr_[r + 1]; ++k) {
+            if (keep(k, static_cast<long>(r))) {
+              out.colind_[pos] = colind_[k];
+              out.vals_[pos] = vals_[k];
+              ++pos;
+            }
+          }
+          assert(pos == out.rowptr_[r + 1]);
+        }
+      });
+  assert(out.colind_.capacity() == out.colind_.size());
+  assert(out.vals_.capacity() == out.vals_.size());
+  return out;
+}
+
+Csr galerkin_product(const Csr& R, const Csr& A, const Csr& P,
+                     Threads threads) {
+  return R.multiply(A.multiply(P, threads), threads);
 }
 
 std::vector<double> dense_spmv(const Csr& A, std::span<const double> x) {

@@ -1,11 +1,20 @@
 #pragma once
 /// \file csr.hpp
-/// \brief Sequential compressed-sparse-row matrices and kernels.
+/// \brief Compressed-sparse-row matrices and two-phase parallel kernels.
 ///
 /// The CSR type underlies both the global problem matrices and the per-rank
 /// diag/offd blocks of the distributed ParCSR format.  Kernels: SpMV,
 /// transpose, sparse matrix-matrix multiply (SpGEMM) and the Galerkin triple
 /// product needed by algebraic multigrid.
+///
+/// The structural kernels (multiply, transpose, pruned, select_rows,
+/// permuted) are *two-phase*: a per-row symbolic count pass fixes every row
+/// offset by exclusive scan, then a numeric fill pass writes each row into
+/// its preallocated slice.  Both passes are row-parallel over a
+/// util::WorkerPool (`Threads` knob); because every output byte lands at an
+/// offset that is a function of the matrix alone, results are bit-identical
+/// for every thread width — the same determinism contract the simulation
+/// engine keeps (docs/ARCHITECTURE.md, "Parallel construction").
 
 #include <span>
 #include <vector>
@@ -15,6 +24,19 @@
 namespace sparse {
 
 using Error = simmpi::SimError;
+
+/// Thread-count knob of the two-phase kernels.  `count >= 1` is an explicit
+/// width; `count <= 0` resolves to the `COLLOM_BUILD_THREADS` environment
+/// variable, else `COLLOM_SIM_THREADS`, else the hardware concurrency.
+/// Every width produces bit-identical kernel output (see the file brief);
+/// the default of 1 keeps incidental kernel calls serial.
+struct Threads {
+  int count = 1;
+  /// Auto-detected width (environment, then hardware).
+  static Threads auto_detect() { return Threads{0}; }
+  /// The resolved worker count, always >= 1.
+  int resolved() const;
+};
 
 /// Coordinate-format entry used for matrix assembly.
 struct Triplet {
@@ -63,17 +85,19 @@ class Csr {
   /// Diagonal entries (0 where the diagonal is not stored).
   std::vector<double> diagonal() const;
   /// A^T
-  Csr transpose() const;
-  /// this * B
-  Csr multiply(const Csr& B) const;
+  Csr transpose(Threads threads = {}) const;
+  /// this * B (row-parallel Gustavson SpGEMM, two-phase)
+  Csr multiply(const Csr& B, Threads threads = {}) const;
   /// Select a subset of rows (new row i = rows[i]); columns unchanged.
-  Csr select_rows(std::span<const int> rows) const;
+  Csr select_rows(std::span<const int> rows, Threads threads = {}) const;
   /// Symmetric permutation helper: B[perm[i]][perm_col[j]] = A[i][j].
   /// `row_perm` maps old row -> new row; `col_perm` maps old col -> new col.
-  Csr permuted(std::span<const int> row_perm,
-               std::span<const int> col_perm) const;
+  /// Both must be bijections on their index range; throws sparse::Error
+  /// otherwise (a duplicate target would silently merge rows/entries).
+  Csr permuted(std::span<const int> row_perm, std::span<const int> col_perm,
+               Threads threads = {}) const;
   /// Drop entries with |value| <= tol (never the diagonal).
-  Csr pruned(double tol) const;
+  Csr pruned(double tol, Threads threads = {}) const;
 
   /// Build directly from raw arrays (validated).
   static Csr from_raw(int rows, int cols, std::vector<long> rowptr,
@@ -90,7 +114,8 @@ class Csr {
 };
 
 /// Galerkin coarse operator: R * A * P (with R typically = P^T).
-Csr galerkin_product(const Csr& R, const Csr& A, const Csr& P);
+Csr galerkin_product(const Csr& R, const Csr& A, const Csr& P,
+                     Threads threads = {});
 
 /// Dense reference SpMV used by property tests.
 std::vector<double> dense_spmv(const Csr& A, std::span<const double> x);

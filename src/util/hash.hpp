@@ -1,0 +1,29 @@
+#pragma once
+/// \file hash.hpp
+/// \brief Canonical byte-wise FNV-1a, shared by the content-addressed
+/// caches and fingerprints.
+///
+/// One definition of the constants (offset basis 0xcbf29ce484222325,
+/// prime 0x100000001b3) so they cannot drift between users.  Callers that
+/// persist hash values (cache filenames, plan fingerprints) must keep
+/// using the same function forever or version their formats.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// FNV-1a over a byte buffer, continuing from `h` (chainable).
+inline std::uint64_t fnv1a(const unsigned char* data, std::size_t n,
+                           std::uint64_t h = kFnvOffsetBasis) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace util

@@ -177,6 +177,32 @@ TEST(Csr, PermutedRelabelsEntries) {
   EXPECT_EQ(b.nnz(), 2);
 }
 
+TEST(Csr, PermutedRejectsNonPermutations) {
+  // Regression: duplicate targets used to be silently summed by the
+  // triplet assembly path, corrupting the matrix instead of failing.
+  Csr a = random_csr(4, 4, 0.6, 11);
+  const std::vector<int> id{0, 1, 2, 3};
+  const std::vector<int> dup_row{0, 1, 2, 2};
+  const std::vector<int> dup_col{3, 3, 1, 0};
+  const std::vector<int> oor{0, 1, 2, 4};
+  const std::vector<int> neg{-1, 1, 2, 3};
+  EXPECT_THROW(a.permuted(dup_row, id), Error);  // duplicate row target
+  EXPECT_THROW(a.permuted(id, dup_col), Error);  // duplicate col target
+  EXPECT_THROW(a.permuted(oor, id), Error);      // out of range
+  EXPECT_THROW(a.permuted(id, neg), Error);
+  EXPECT_NO_THROW(a.permuted(id, id));
+}
+
+TEST(Csr, PermutedRoundTripsThroughInverse) {
+  Csr a = random_csr(8, 5, 0.4, 12);
+  const std::vector<int> rp{3, 7, 0, 5, 1, 6, 2, 4};
+  const std::vector<int> cp{4, 0, 3, 1, 2};
+  std::vector<int> rp_inv(rp.size()), cp_inv(cp.size());
+  for (std::size_t i = 0; i < rp.size(); ++i) rp_inv[rp[i]] = i;
+  for (std::size_t i = 0; i < cp.size(); ++i) cp_inv[cp[i]] = i;
+  EXPECT_EQ(a.permuted(rp, cp).permuted(rp_inv, cp_inv), a);
+}
+
 TEST(Csr, PrunedDropsSmallOffDiagonals) {
   Csr a = Csr::from_triplets(
       2, 2, {{0, 0, 1e-14}, {0, 1, 0.5}, {1, 0, 1e-14}, {1, 1, 2.0}});

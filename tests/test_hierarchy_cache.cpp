@@ -147,6 +147,41 @@ TEST(HierarchyCache, KeyMismatchIsRejected) {
   EXPECT_FALSE(cache.load(other).has_value());
 }
 
+TEST(HierarchyCache, EvictionEnforcesMaxBytes) {
+  TempDir tmp;
+  const amg::DistHierarchy dh8 = build_small(512, 8);
+  const amg::DistHierarchy dh16 = build_small(512, 16);
+
+  // Probe one entry's on-disk size with an uncapped cache.
+  HierarchyCache probe(tmp.path);
+  ASSERT_TRUE(probe.store(key_of(512, 8), dh8));
+  const auto entry_size = fs::file_size(probe.path_of(key_of(512, 8)));
+  fs::remove(probe.path_of(key_of(512, 8)));
+
+  // Cap below two entries: storing a second key must evict the oldest.
+  HierarchyCache cache(tmp.path, entry_size + entry_size / 2);
+  ASSERT_TRUE(cache.store(key_of(512, 8), dh8));
+  ASSERT_TRUE(cache.store(key_of(512, 16), dh16));
+  EXPECT_FALSE(fs::exists(cache.path_of(key_of(512, 8))))
+      << "oldest entry must be evicted once the cap is exceeded";
+  EXPECT_TRUE(fs::exists(cache.path_of(key_of(512, 16))));
+  EXPECT_TRUE(cache.load(key_of(512, 16)).has_value());
+}
+
+TEST(HierarchyCache, EvictionNeverRemovesJustWrittenEntry) {
+  TempDir tmp;
+  const amg::DistHierarchy dh = build_small();
+  // Cap below any single entry: the store must still land and survive its
+  // own eviction pass (evicting the just-written file would make every
+  // store a no-op and the caller would rebuild forever).
+  HierarchyCache cache(tmp.path, 1);
+  ASSERT_TRUE(cache.store(key_of(), dh));
+  EXPECT_TRUE(fs::exists(cache.path_of(key_of())));
+  auto loaded = cache.load(key_of());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, dh);
+}
+
 TEST(HierarchyCache, PaperDistHierarchyPopulatesGlobalCache) {
   // The global() instance honors COLLOM_HIER_CACHE_DIR; exercised through
   // the paper_dist_hierarchy thin lookup only when this process has not
