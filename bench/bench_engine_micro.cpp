@@ -1,0 +1,177 @@
+/// \file bench_engine_micro.cpp
+/// \brief Micro benchmarks of the engine's per-message machinery: message
+/// rate through the arena-backed journal/mailbox path, mailbox interning
+/// and lookup, pooled coroutine-frame churn, and the
+/// allocations-per-message counter that pins the steady state to zero heap
+/// traffic.  Unlike the figure benches these measure the *simulator's own*
+/// hot loop — wall time is the measurement, so host rates live in
+/// `items_per_second` (host-dependent, ignored by the series comparator)
+/// while everything in `counters` stays deterministic.  The engine width
+/// is pinned to 1: these are single-thread hot-path numbers
+/// (docs/BENCHMARKS.md).
+
+#include "util/alloc_hook.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "simmpi/coll.hpp"
+#include "simmpi/engine.hpp"
+
+namespace {
+
+using namespace simmpi;
+
+bool quick_mode() {
+  const char* v = std::getenv("COLLOM_BENCH_QUICK");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+Machine micro_machine() {
+  return Machine({.num_nodes = 2, .regions_per_node = 2, .ranks_per_region = 4});
+}
+
+Engine::Options width1() { return Engine::Options{.threads = 1}; }
+
+constexpr int kRingTag = 11;
+
+/// Ring exchange with a fixed tag: the persistent-exchange hot path.
+Task<> ring(Context& ctx, int iters, std::size_t payload_doubles) {
+  const int p = ctx.world().size();
+  const int r = ctx.rank();
+  std::vector<double> out(payload_doubles, r + 0.5);
+  std::vector<double> in(payload_doubles);
+  for (int it = 0; it < iters; ++it) {
+    Request reqs[2] = {
+        Request::send(ctx.world(), std::as_bytes(std::span<const double>(out)),
+                      (r + 1) % p, kRingTag),
+        Request::recv(ctx.world(), std::as_writable_bytes(std::span<double>(in)),
+                      (r - 1 + p) % p, kRingTag),
+    };
+    for (auto& q : reqs) q.start(ctx);
+    co_await ctx.wait_all(std::span<Request>(reqs));
+  }
+}
+
+/// Messages per second through post_send → journal → commit → mailbox →
+/// complete_recv, one payload size per argument.
+void BM_MessageRate(benchmark::State& state) {
+  const int iters = quick_mode() ? 64 : 256;
+  const auto payload = static_cast<std::size_t>(state.range(0));
+  Engine eng(micro_machine(), CostParams::lassen(), width1());
+  const int p = eng.machine().num_ranks();
+  auto run_once = [&] {
+    eng.run([&](Context& ctx) -> Task<> { return ring(ctx, iters, payload); });
+  };
+  run_once();  // warm arenas, channels, frame pool
+  std::uint64_t msgs = 0;
+  for (auto _ : state) {
+    run_once();
+    msgs += static_cast<std::uint64_t>(iters) * p;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(msgs));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(msgs * payload * sizeof(double)));
+  state.counters["sim_msgs_per_run"] = static_cast<double>(iters) * p;
+  state.counters["sim_seconds"] = eng.max_clock();
+}
+// Iteration counts are pinned (here and below) so every counter —
+// channel totals, pool statistics — is a deterministic function of the
+// configuration, as the series comparator requires.
+BENCHMARK(BM_MessageRate)
+    ->Arg(1)
+    ->Arg(128)
+    ->Arg(8192)
+    ->Iterations(20)
+    ->Unit(benchmark::kMillisecond);
+
+/// Mailbox stress: every round mints fresh collective tags, so each
+/// message interns a fresh channel into the flat probing table and its
+/// receive erases it again (erase-on-drain keeps the table at the
+/// in-flight channel count under this churn).
+void BM_MailboxChurn(benchmark::State& state) {
+  const int rounds = quick_mode() ? 32 : 128;
+  Engine eng(micro_machine(), CostParams::lassen(), width1());
+  const int p = eng.machine().num_ranks();
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    eng.run([&](Context& ctx) -> Task<> {
+      for (int k = 0; k < rounds; ++k)
+        co_await coll::barrier(ctx, ctx.world());
+    });
+    // Each barrier: log2(p) rounds of one send + one recv per rank.
+    int lg = 0;
+    for (int k = 1; k < p; k <<= 1) ++lg;
+    ops += static_cast<std::uint64_t>(rounds) * p * lg * 2;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  // Queue-slot high-water mark: erase-on-drain keeps the mailbox at the
+  // in-flight channel count, not the total tags ever minted.
+  state.counters["channel_slots_rank0"] =
+      static_cast<double>(eng.channel_slots(0));
+}
+BENCHMARK(BM_MailboxChurn)->Iterations(10)->Unit(benchmark::kMillisecond);
+
+Task<> noop() { co_return; }
+
+/// Coroutine-frame churn: one pooled frame allocated and destroyed per
+/// awaited no-op task.
+void BM_FrameRate(benchmark::State& state) {
+  const int frames = quick_mode() ? 4096 : 65536;
+  Engine eng(micro_machine(), CostParams::lassen(), width1());
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    eng.run([&](Context& ctx) -> Task<> {
+      (void)ctx;
+      for (int i = 0; i < frames; ++i) co_await noop();
+    });
+    total += static_cast<std::uint64_t>(frames) * eng.machine().num_ranks();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+  state.counters["frame_pool_mallocs"] =
+      static_cast<double>(util::frame_pool_mallocs());
+}
+BENCHMARK(BM_FrameRate)->Iterations(20)->Unit(benchmark::kMillisecond);
+
+/// The allocation regression counter: heap allocations per message on a
+/// warmed engine.  Deterministic (width 1, fixed iteration count) and
+/// expected to be exactly 0 — tests/test_engine_alloc.cpp enforces the
+/// same property with hard asserts; this keeps it visible in the bench
+/// trajectory.
+void BM_AllocsPerMessage(benchmark::State& state) {
+  const int iters = 128;
+  Engine eng(micro_machine(), CostParams::lassen(), width1());
+  const int p = eng.machine().num_ranks();
+  auto run_for = [&](int n) {
+    eng.run([&](Context& ctx) -> Task<> { return ring(ctx, n, 64); });
+  };
+  // Warm at the *longest* length so arenas reach their peak population.
+  run_for(4 * iters);
+  const auto b0 = util::alloc_hook_count();
+  run_for(iters);
+  // Per-run scaffolding (task vectors, pool setup), independent of the
+  // iteration count; subtracting it isolates the per-message cost.
+  const std::uint64_t base_allocs = util::alloc_hook_count() - b0;
+  const auto before = util::alloc_hook_count();
+  run_for(4 * iters);
+  const std::uint64_t with_more = util::alloc_hook_count() - before;
+  const double extra_msgs = static_cast<double>(3 * iters) * p;
+  const double per_msg =
+      static_cast<double>(with_more > base_allocs ? with_more - base_allocs
+                                                  : 0) /
+      extra_msgs;
+  for (auto _ : state) benchmark::DoNotOptimize(per_msg);
+  state.counters["allocs_per_msg_steady"] = per_msg;
+  state.counters["arena_chunks"] =
+      static_cast<double>(eng.arena_stats().chunks);
+  state.counters["arena_recycles"] =
+      static_cast<double>(eng.arena_stats().recycles);
+}
+BENCHMARK(BM_AllocsPerMessage)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

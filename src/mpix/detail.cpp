@@ -1,6 +1,7 @@
 #include "mpix/detail.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace mpix::detail {
 
@@ -108,7 +109,20 @@ void validate_plan_args(const LocalityPlan& plan,
 
 std::vector<long long> serialize_edges(const simmpi::DistGraph& graph,
                                        const AlltoallvArgs& args, bool dedup) {
+  // Exact single reservation (the blob is rebuilt once per plan build, but
+  // doubling growth on multi-thousand-entry metadata showed up in staging
+  // profiles): 1 rank word + per-direction [count word + 2 words per edge +
+  // optional gid words].
+  std::size_t words = 3;
+  words += 2 * graph.destinations.size() + 2 * graph.sources.size();
+  if (dedup) {
+    for (std::size_t i = 0; i < graph.destinations.size(); ++i)
+      words += static_cast<std::size_t>(args.sendcounts[i]);
+    for (std::size_t i = 0; i < graph.sources.size(); ++i)
+      words += static_cast<std::size_t>(args.recvcounts[i]);
+  }
   std::vector<long long> blob;
+  blob.reserve(words);
   blob.push_back(graph.comm.rank());
   blob.push_back(static_cast<long long>(graph.destinations.size()));
   for (std::size_t i = 0; i < graph.destinations.size(); ++i) {
@@ -126,11 +140,34 @@ std::vector<long long> serialize_edges(const simmpi::DistGraph& graph,
       for (int k = 0; k < args.recvcounts[i]; ++k)
         blob.push_back(args.recv_idx[args.rdispls[i] + k]);
   }
+  assert(blob.capacity() == words);  // the reservation above was exact
   return blob;
 }
 
 void parse_edges(std::span<const long long> data, bool dedup,
                  std::vector<Edge>& out_edges, std::vector<Edge>& in_edges) {
+  // Pre-scan for the edge totals so the output vectors are reserved once
+  // (a region's combined metadata blob holds thousands of edges; doubling
+  // growth re-copied Edge objects — and their gid vectors — repeatedly).
+  // Truncation is ignored here; the parse below reports it.
+  {
+    std::size_t nout = 0, nin = 0, pos = 0;
+    while (pos + 1 < data.size()) {
+      ++pos;  // rank
+      for (int dir = 0; dir < 2; ++dir) {
+        if (pos >= data.size()) break;
+        const long long n = data[pos++];
+        for (long long e = 0; e < n && pos + 1 < data.size(); ++e) {
+          const long long count = data[pos + 1];
+          if (count < 0) break;  // corrupt; the parse below throws
+          pos += 2 + (dedup ? static_cast<std::size_t>(count) : 0);
+          (dir == 0 ? nout : nin) += 1;
+        }
+      }
+    }
+    out_edges.reserve(out_edges.size() + nout);
+    in_edges.reserve(in_edges.size() + nin);
+  }
   std::size_t pos = 0;
   auto next = [&]() {
     if (pos >= data.size())

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "simmpi/types.hpp"
+#include "util/arena.hpp"
 
 namespace simmpi {
 
@@ -27,24 +28,19 @@ struct ChannelKey {
   std::int32_t dst = -1;  ///< global destination rank
   std::int32_t tag = -1;
   bool operator==(const ChannelKey&) const = default;
+  /// Total order for diagnostics and containers (the order itself carries
+  /// no meaning; only identity does).
+  auto operator<=>(const ChannelKey&) const = default;
 };
 
-struct ChannelKeyHash {
-  std::size_t operator()(const ChannelKey& k) const noexcept {
-    std::uint64_t h = k.ctx;
-    h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint32_t>(k.src);
-    h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint32_t>(k.dst);
-    h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint32_t>(k.tag);
-    h ^= h >> 29;
-    h *= 0xBF58476D1CE4E5B9ull;
-    h ^= h >> 32;
-    return static_cast<std::size_t>(h);
-  }
-};
-
-/// A message in flight: payload plus modeled arrival time at the receiver.
+/// A message in flight: a view of payload bytes in the *sender's* rank
+/// arena (see Engine::RankState), plus the modeled arrival time.  The
+/// bytes stay valid until the receive completes and releases `chunk` back
+/// to the arena (zero-size messages carry no bytes and no chunk).
 struct Message {
-  std::vector<std::byte> payload;
+  const std::byte* data = nullptr;
+  std::size_t size = 0;
+  util::Arena::Chunk* chunk = nullptr;
   double arrival = 0.0;
 };
 

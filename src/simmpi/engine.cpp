@@ -56,13 +56,12 @@ void Engine::run(const RankProgram& program) {
   } guard{*this};
 
   const int nranks = machine_.num_ranks();
-  std::vector<std::unique_ptr<Context>> ctxs;
-  ctxs.reserve(nranks);
+  std::vector<Context> ctxs;
+  ctxs.reserve(nranks);  // reserved once: coroutines hold Context&
   std::vector<Task<>> tasks;
   tasks.reserve(nranks);
-  for (int r = 0; r < nranks; ++r)
-    ctxs.push_back(std::make_unique<Context>(*this, r));
-  for (int r = 0; r < nranks; ++r) tasks.push_back(program(*ctxs[r]));
+  for (int r = 0; r < nranks; ++r) ctxs.emplace_back(*this, r);
+  for (int r = 0; r < nranks; ++r) tasks.push_back(program(ctxs[r]));
   ready_.clear();
   for (int r = 0; r < nranks; ++r) ready_.push_back(tasks[r].handle());
 
@@ -77,19 +76,24 @@ void Engine::run(const RankProgram& program) {
     util::WorkerPool pool(std::min(threads_, nranks));
     std::vector<std::coroutine_handle<>> phase;
     std::vector<std::exception_ptr> errs;
+    // One std::function for every phase: constructing it per pool.run call
+    // would allocate each phase (the capture list exceeds the small-buffer
+    // optimization of common std::function implementations).
+    const util::WorkerPool::ChunkFn resume_chunk = [&](std::size_t b,
+                                                       std::size_t e, int) {
+      for (std::size_t i = b; i < e; ++i) {
+        try {
+          phase[i].resume();
+        } catch (...) {
+          errs[i] = std::current_exception();
+        }
+      }
+    };
     while (!ready_.empty()) {
       phase.clear();
       phase.swap(ready_);
       errs.assign(phase.size(), nullptr);
-      pool.run(phase.size(), 8, [&](std::size_t b, std::size_t e, int) {
-        for (std::size_t i = b; i < e; ++i) {
-          try {
-            phase[i].resume();
-          } catch (...) {
-            errs[i] = std::current_exception();
-          }
-        }
-      });
+      pool.run(phase.size(), 8, resume_chunk);
       // First exception in handle order wins (matching the pre-pool
       // behaviour); every handle of the phase has been resumed regardless.
       for (auto& ep : errs)
@@ -130,13 +134,142 @@ void Engine::run(const RankProgram& program) {
 }
 
 /// Clear in-flight state so a failed run leaves the engine inspectable.
+/// Interned channel tables and all retained capacity (queues, journals,
+/// arena chunks) survive: a follow-up run() on the same engine reuses them
+/// without re-warming the allocator.
 void Engine::check_quiescent() {
   for (auto& rs : rank_) {
-    rs.mailbox.clear();
+    // A successful run left every queue drained (and therefore erased);
+    // only the error paths pay for a mailbox walk.
+    if (rs.inbox_count > 0) rs.reset_mailbox();
     rs.parked = {};
     rs.inbox_count = 0;
     rs.journal.clear();
+    rs.arena.reset();
   }
+}
+
+namespace {
+
+/// SplitMix-style avalanche of the channel identity (same recipe as the
+/// old unordered_map hasher; only slot placement reads it).
+std::size_t channel_hash(const ChannelKey& k) {
+  std::uint64_t h = k.ctx;
+  h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint32_t>(k.src);
+  h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint32_t>(k.dst);
+  h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint32_t>(k.tag);
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace
+
+bool Engine::RankState::has_channel(const ChannelKey& key) const {
+  const std::size_t n = chan_slots.size();
+  if (n == 0) return false;
+  for (std::size_t i = channel_hash(key) & (n - 1);; i = (i + 1) & (n - 1)) {
+    const auto& slot = chan_slots[i];
+    if (slot.second == kEmptySlot) return false;
+    if (slot.first == key) return true;
+  }
+}
+
+bool Engine::RankState::pop_message(const ChannelKey& key, Message& out) {
+  const std::size_t n = chan_slots.size();
+  if (n == 0) return false;
+  const std::size_t mask = n - 1;
+  std::size_t i = channel_hash(key) & mask;
+  for (;; i = (i + 1) & mask) {
+    if (chan_slots[i].second == kEmptySlot) return false;
+    if (chan_slots[i].first == key) break;
+  }
+  const std::uint32_t qi = chan_slots[i].second;
+  ChannelQueue& ch = channels[qi];
+  out = ch.pop();
+  if (!ch.empty()) return true;
+
+  // Drained: erase the slot (backward shift, so probe chains stay intact
+  // without tombstones) and park the queue for reuse.
+  free_channels.push_back(qi);
+  --chan_count;
+  std::size_t j = i;
+  for (;;) {
+    chan_slots[i].second = kEmptySlot;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (chan_slots[j].second == kEmptySlot) return true;
+      const std::size_t home = channel_hash(chan_slots[j].first) & mask;
+      // Move j into the hole iff the hole lies on j's probe path, i.e.
+      // home..j (cyclically) passes through i.
+      if (((i - home) & mask) <= ((j - home) & mask)) break;
+    }
+    chan_slots[i] = chan_slots[j];
+    i = j;
+  }
+}
+
+Engine::ChannelQueue& Engine::RankState::intern_channel(const ChannelKey& key) {
+  // Grow at 1/2 load (also handles the empty table): absent-key probes —
+  // every receive checks its channel before parking — must stay short.
+  // Rehashing is the only allocation here, amortized over the working
+  // set's high-water mark; erase-on-drain keeps the table at the number
+  // of channels holding messages *right now*, so a steady workload stops
+  // rehashing (and allocating queues) after warm-up.
+  if ((chan_count + 1) * 2 >= chan_slots.size()) {
+    const std::size_t cap = std::max<std::size_t>(64, chan_slots.size() * 2);
+    std::vector<std::pair<ChannelKey, std::uint32_t>> fresh(
+        cap, {ChannelKey{}, kEmptySlot});
+    for (const auto& slot : chan_slots) {
+      if (slot.second == kEmptySlot) continue;
+      std::size_t i = channel_hash(slot.first) & (cap - 1);
+      while (fresh[i].second != kEmptySlot) i = (i + 1) & (cap - 1);
+      fresh[i] = slot;
+    }
+    chan_slots.swap(fresh);
+  }
+  const std::size_t n = chan_slots.size();
+  for (std::size_t i = channel_hash(key) & (n - 1);; i = (i + 1) & (n - 1)) {
+    auto& slot = chan_slots[i];
+    if (slot.second == kEmptySlot) {
+      std::uint32_t qi;
+      if (!free_channels.empty()) {
+        qi = free_channels.back();
+        free_channels.pop_back();
+      } else {
+        qi = static_cast<std::uint32_t>(channels.size());
+        channels.emplace_back();
+      }
+      slot = {key, qi};
+      ++chan_count;
+      return channels[qi];
+    }
+    if (slot.first == key) return channels[slot.second];
+  }
+}
+
+void Engine::RankState::reset_mailbox() {
+  chan_slots.assign(chan_slots.size(), {ChannelKey{}, kEmptySlot});
+  chan_count = 0;
+  free_channels.clear();
+  free_channels.reserve(channels.size());
+  for (std::uint32_t i = 0; i < channels.size(); ++i) {
+    channels[i].drop_all();
+    free_channels.push_back(i);
+  }
+}
+
+util::Arena::Stats Engine::arena_stats() const {
+  util::Arena::Stats total;
+  for (const auto& rs : rank_) {
+    const auto& s = rs.arena.stats();
+    total.chunks += s.chunks;
+    total.capacity_bytes += s.capacity_bytes;
+    total.recycles += s.recycles;
+    total.allocs += s.allocs;
+  }
+  return total;
 }
 
 void Engine::commit_phase() {
@@ -162,13 +295,13 @@ void Engine::commit_phase() {
   // bit-identical for any Options::threads.
   for (int r = 0; r < nranks; ++r) {
     auto& journal = rank_[r].journal;
-    for (PendingSend& ps : journal) deliver(std::move(ps));
+    for (const PendingSend& ps : journal) deliver(ps);
     journal.clear();
   }
 }
 
-void Engine::deliver(PendingSend ps) {
-  const std::size_t bytes = ps.payload.size();
+void Engine::deliver(const PendingSend& ps) {
+  const std::size_t bytes = ps.size;
   double arrival;
   if (ps.loc == Locality::network && model_.params().use_injection_cap) {
     const int node = machine_.node_of(ps.key.src);
@@ -184,7 +317,7 @@ void Engine::deliver(PendingSend ps) {
   }
 
   RankState& dst = rank_[ps.key.dst];
-  dst.mailbox[ps.key].push_back(Message{std::move(ps.payload), arrival});
+  dst.intern_channel(ps.key).push(Message{ps.data, ps.size, ps.chunk, arrival});
   ++dst.inbox_count;
   if (dst.parked && dst.parked_key == ps.key) {
     ready_.push_back(dst.parked);
@@ -245,18 +378,25 @@ void Engine::post_send(const Comm& comm, int src_local, int dst_local, int tag,
   ++ts.msgs;
   ts.bytes += payload.size();
 
+  // Copy the payload into this rank's bump arena: a pointer bump plus a
+  // memcpy, no heap traffic in steady state.  The bytes stay put until the
+  // receive completes and releases the chunk back to the arena.
+  RankState& rs = rank_[gsrc];
+  util::Arena::Alloc alloc;
+  if (!payload.empty()) {
+    alloc = rs.arena.allocate(payload.size());
+    std::memcpy(alloc.data, payload.data(), payload.size());
+  }
+
   // Arrival time and NIC occupancy depend on shared per-node state; they
   // are computed at the phase commit (deliver), not here.
-  rank_[gsrc].journal.push_back(
-      PendingSend{ChannelKey{comm.id(), gsrc, gdst, tag},
-                  std::vector<std::byte>(payload.begin(), payload.end()), clk,
-                  loc});
+  rs.journal.push_back(PendingSend{ChannelKey{comm.id(), gsrc, gdst, tag},
+                                   alloc.data, payload.size(), alloc.chunk,
+                                   clk, loc});
 }
 
 bool Engine::has_message(const ChannelKey& key) const {
-  const auto& mailbox = rank_[key.dst].mailbox;
-  auto it = mailbox.find(key);
-  return it != mailbox.end() && !it->second.empty();
+  return rank_[key.dst].has_channel(key);
 }
 
 void Engine::park(const ChannelKey& key, std::coroutine_handle<> h) {
@@ -271,27 +411,29 @@ void Engine::park(const ChannelKey& key, std::coroutine_handle<> h) {
 void Engine::complete_recv(Request& req) {
   const ChannelKey key = req.key();
   RankState& rs = rank_[key.dst];
-  auto it = rs.mailbox.find(key);
-  if (it == rs.mailbox.end() || it->second.empty())
+  Message msg;
+  if (!rs.pop_message(key, msg))
     throw SimError("Engine::complete_recv: no matching message");
-  Message msg = std::move(it->second.front());
-  it->second.pop_front();
-  if (it->second.empty()) rs.mailbox.erase(it);
 
   --rs.inbox_count;
 
   if (req.dyn_) {
-    req.payload_ = std::move(msg.payload);
-    req.received_ = req.payload_.size();
+    req.payload_.assign(msg.data, msg.data + msg.size);
+    req.received_ = msg.size;
   } else {
-    if (msg.payload.size() > req.rbuf_.size())
+    if (msg.size > req.rbuf_.size()) {
+      // The message is consumed either way: release its chunk before
+      // surfacing the error, or the sender's arena pins it forever.
+      if (msg.chunk != nullptr) util::Arena::release(msg.chunk);
       throw SimError("Engine::complete_recv: message truncated (payload " +
-                     std::to_string(msg.payload.size()) + "B > buffer " +
+                     std::to_string(msg.size) + "B > buffer " +
                      std::to_string(req.rbuf_.size()) + "B)");
-    if (!msg.payload.empty())
-      std::memcpy(req.rbuf_.data(), msg.payload.data(), msg.payload.size());
-    req.received_ = msg.payload.size();
+    }
+    if (msg.size > 0) std::memcpy(req.rbuf_.data(), msg.data, msg.size);
+    req.received_ = msg.size;
   }
+  // Payload consumed: release the sender's arena chunk so it can recycle.
+  if (msg.chunk != nullptr) util::Arena::release(msg.chunk);
 
   double& clk = clocks_[key.dst];
   clk = std::max(clk, msg.arrival) + model_.recv_overhead(rs.inbox_count);

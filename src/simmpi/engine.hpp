@@ -23,9 +23,9 @@
 /// ranks (result tables, caches) must be per-rank slots or synchronized.
 /// Engine-mediated communication needs no user synchronization.
 
+#include <atomic>
 #include <coroutine>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -37,6 +37,8 @@
 #include "simmpi/machine.hpp"
 #include "simmpi/task.hpp"
 #include "simmpi/types.hpp"
+#include "util/arena.hpp"
+#include "util/flat_map.hpp"
 
 namespace simmpi {
 
@@ -162,32 +164,102 @@ class Engine {
 
   double& clock_ref(int rank) { return clocks_[rank]; }
 
+  /// Aggregate payload-arena statistics over all ranks (allocation-
+  /// regression tests and the engine micro benchmarks read these; steady
+  /// state must not grow `chunks`).
+  util::Arena::Stats arena_stats() const;
+  /// Channels currently holding messages at rank `rank`'s mailbox (a
+  /// channel lives only from delivery until its last message is received).
+  std::size_t channel_count(int rank) const {
+    return rank_[rank].chan_count;
+  }
+  /// Queue slots ever created at rank `rank` (the mailbox working-set
+  /// high-water mark; steady workloads stop growing this).
+  std::size_t channel_slots(int rank) const {
+    return rank_[rank].channels.size();
+  }
+
  private:
   /// A send journaled during a phase, awaiting delivery at the commit.
+  /// The payload bytes live in the sending rank's arena; `chunk` is
+  /// released once the receive consumed them.
   struct PendingSend {
     ChannelKey key;
-    std::vector<std::byte> payload;
+    const std::byte* data = nullptr;
+    std::size_t size = 0;
+    util::Arena::Chunk* chunk = nullptr;
     double depart = 0.0;  ///< sender clock after the send overhead
     Locality loc = Locality::self;
   };
 
+  /// FIFO of committed, undelivered messages on one channel.  A plain
+  /// vector with a head cursor: push_back at the tail, pop at the head,
+  /// storage rewound (capacity kept) whenever the queue drains.
+  struct ChannelQueue {
+    std::vector<Message> q;
+    std::size_t head = 0;
+    bool empty() const { return head == q.size(); }
+    void push(const Message& m) { q.push_back(m); }
+    Message pop() {
+      Message m = q[head++];
+      if (head == q.size()) {
+        q.clear();
+        head = 0;
+      }
+      return m;
+    }
+    void drop_all() {
+      q.clear();
+      head = 0;
+    }
+  };
+
   /// State owned by one rank.  During a phase it is touched only by that
   /// rank's coroutine (on whichever worker runs it); the commit step — and
-  /// only it — crosses rank boundaries, single-threaded.
+  /// only it — crosses rank boundaries, single-threaded.  Exception: the
+  /// per-chunk refcounts of a sender's arena are decremented by receivers
+  /// as they consume its payload bytes (Arena::release is thread-safe).
   struct RankState {
-    std::unordered_map<ChannelKey, std::deque<Message>, ChannelKeyHash>
-        mailbox;  ///< committed, undelivered messages addressed to this rank
+    static constexpr std::uint32_t kEmptySlot = 0xFFFFFFFFu;
+    /// Mailbox: a flat open-addressing table (linear probing, power-of-two
+    /// size, backward-shift deletion) over FIFO queues stored separately.
+    /// A channel exists only while it holds messages: it is interned at
+    /// delivery and erased when its last message is received, with the
+    /// drained queue (capacity retained) parked on a free list for the
+    /// next channel.  Collectives mint fresh tags per call, so without
+    /// the erase the table — and with it absent-key probe lengths,
+    /// end-of-run cleanup and resident memory — would grow for the
+    /// engine's whole lifetime.  Invariant: an interned channel is
+    /// never empty.
+    std::vector<std::pair<ChannelKey, std::uint32_t>> chan_slots;
+    std::size_t chan_count = 0;
+    std::vector<ChannelQueue> channels;
+    std::vector<std::uint32_t> free_channels;  ///< drained queue indices
     std::coroutine_handle<> parked{};  ///< this rank's blocked coroutine
     ChannelKey parked_key{};
     int inbox_count = 0;  ///< committed, unreceived messages
     std::vector<PendingSend> journal;
     bool nic_reset_request = false;  ///< set by sync_reset, folded at commit
-    std::unordered_map<std::uint32_t, int> coll_tags;    ///< per comm ctx
-    std::unordered_map<std::uint32_t, int> split_rounds; ///< per comm ctx
+    util::FlatMap<std::uint32_t, int> coll_tags;     ///< per comm ctx
+    util::FlatMap<std::uint32_t, int> split_rounds;  ///< per comm ctx
+    /// Payload bytes of this rank's sends.  Bumped only by this rank's
+    /// coroutine; chunks recycle as receivers release them.
+    util::Arena arena;
+
+    /// Whether `key` currently holds a message (interned => non-empty).
+    bool has_channel(const ChannelKey& key) const;
+    /// Pop the front message of `key` into `out`; erases the channel when
+    /// that drained it.  False when no message is pending.
+    bool pop_message(const ChannelKey& key, Message& out);
+    /// The queue for `key`, interning it on first use (commit step only).
+    ChannelQueue& intern_channel(const ChannelKey& key);
+    /// Error-path cleanup: drop all messages, empty the table, park every
+    /// queue on the free list (capacity retained).
+    void reset_mailbox();
   };
 
   void commit_phase();
-  void deliver(PendingSend ps);
+  void deliver(const PendingSend& ps);
   void check_quiescent();
 
   Machine machine_;

@@ -11,9 +11,12 @@
 /// waiting).
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <optional>
 #include <utility>
+
+#include "util/arena.hpp"
 
 namespace simmpi {
 
@@ -22,10 +25,20 @@ class Task;
 
 namespace detail {
 
-/// Common promise functionality: continuation chaining and exception capture.
+/// Common promise functionality: continuation chaining, exception capture,
+/// and pooled frame allocation.  Coroutine frames are the highest-frequency
+/// allocation of the engine (every awaited sub-task creates one), so they
+/// come from util's size-bucketed frame pool: repeated run()/solve
+/// iterations recycle frames instead of hitting malloc (see
+/// docs/ARCHITECTURE.md, "Memory management in the engine").
 struct PromiseBase {
   std::coroutine_handle<> continuation{};
   std::exception_ptr exception{};
+
+  static void* operator new(std::size_t n) { return util::frame_alloc(n); }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    util::frame_free(p, n);
+  }
 
   /// Final awaiter: transfers control to the awaiting coroutine, if any.
   struct FinalAwaiter {

@@ -1,0 +1,56 @@
+#pragma once
+/// \file flat_map.hpp
+/// \brief Sorted-vector map for small, hot, insert-rarely lookup tables.
+///
+/// `FlatMap` stores (key, value) pairs contiguously, sorted by key, and
+/// looks up by binary search: no per-node allocation, no hashing, and the
+/// whole table usually fits in a cache line or two.  Insertion is O(n)
+/// (memmove), which is the right trade for the engine's tables — channel
+/// ids and per-communicator counters are interned once and then looked up
+/// millions of times (docs/ARCHITECTURE.md, "Memory management in the
+/// engine").  Not thread-safe; the engine confines each instance to one
+/// rank's state.
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace util {
+
+template <class K, class V>
+class FlatMap {
+ public:
+  /// Value for `key`, default-constructed and inserted on first use.
+  V& operator[](const K& key) {
+    auto it = lower_bound(key);
+    if (it != v_.end() && it->first == key) return it->second;
+    return v_.insert(it, {key, V{}})->second;
+  }
+
+  /// Pointer to the value for `key`, or nullptr when absent.  Never
+  /// inserts; safe on the read-only hot path.
+  V* find(const K& key) {
+    auto it = lower_bound(key);
+    return (it != v_.end() && it->first == key) ? &it->second : nullptr;
+  }
+  const V* find(const K& key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  std::size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+  void clear() { v_.clear(); }
+  auto begin() const { return v_.begin(); }
+  auto end() const { return v_.end(); }
+
+ private:
+  typename std::vector<std::pair<K, V>>::iterator lower_bound(const K& key) {
+    return std::lower_bound(
+        v_.begin(), v_.end(), key,
+        [](const std::pair<K, V>& a, const K& b) { return a.first < b; });
+  }
+
+  std::vector<std::pair<K, V>> v_;
+};
+
+}  // namespace util

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Diff two directories of google-benchmark JSON outputs.
+
+Usage: bench_report.py <before_dir> <after_dir> [glob]
+
+For every file matching `glob` (default BENCH_*.json, which also matches
+BENCH_QUICK_*.json) present in *both* directories, prints a per-benchmark
+table of host wall time (real_time) before/after with the relative delta,
+plus any user counters whose values changed.
+
+This is the informational companion of compare_bench_series.py: that
+script *gates* on the deterministic simulated counters; this one reports
+the host-side cost of computing them, which is exactly what a perf PR
+changes.  Wall times are noisy — treat small deltas as noise and look for
+consistent signs across many benchmarks.
+
+Exit status: 0 unless no input files could be paired (2 on usage error).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+# Time fields are host measurements; everything else under a benchmark
+# entry apart from bookkeeping is a user counter.
+BOOKKEEPING = {
+    "name",
+    "real_time",
+    "cpu_time",
+    "iterations",
+    "time_unit",
+    "run_name",
+    "run_type",
+    "repetitions",
+    "repetition_index",
+    "threads",
+    "family_index",
+    "per_family_instance_index",
+    "items_per_second",
+    "bytes_per_second",
+}
+
+
+def load(path):
+    """{benchmark name: entry dict} of one JSON file (insertion-ordered)."""
+    with open(path) as f:
+        data = json.load(f)
+    return {b["name"]: b for b in data.get("benchmarks", [])}
+
+
+def to_ms(entry):
+    t = entry.get("real_time")
+    if t is None:
+        return None
+    unit = entry.get("time_unit", "ns")
+    scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}.get(unit, 1e-6)
+    return t * scale
+
+
+def fmt_delta(before, after):
+    if not before:
+        return "   n/a"
+    pct = 100.0 * (after - before) / before
+    return f"{pct:+6.1f}%"
+
+
+def main(argv):
+    if len(argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        return 2
+    dir_a, dir_b = Path(argv[1]), Path(argv[2])
+    pattern = argv[3] if len(argv) == 4 else "BENCH_*.json"
+    paired = [
+        (f, dir_b / f.name) for f in sorted(dir_a.glob(pattern))
+        if (dir_b / f.name).exists()
+    ]
+    if not paired:
+        print(f"error: no {pattern} files present in both {dir_a} and {dir_b}",
+              file=sys.stderr)
+        return 1
+    wall_a = wall_b = 0.0
+    for file_a, file_b in paired:
+        a, b = load(file_a), load(file_b)
+        common = [n for n in a if n in b]
+        if not common:
+            continue
+        print(f"\n{file_a.name}")
+        print(f"  {'benchmark':44} {'before':>10} {'after':>10}   delta")
+        for name in common:
+            ta, tb = to_ms(a[name]), to_ms(b[name])
+            if ta is None or tb is None:
+                continue
+            wall_a += ta
+            wall_b += tb
+            print(f"  {name[:44]:44} {ta:8.2f}ms {tb:8.2f}ms {fmt_delta(ta, tb)}")
+            changed = sorted(
+                k for k in set(a[name]) | set(b[name])
+                if k not in BOOKKEEPING and a[name].get(k) != b[name].get(k)
+            )
+            for k in changed:
+                print(f"    counter {k}: {a[name].get(k)!r} -> "
+                      f"{b[name].get(k)!r}")
+        only_a = [n for n in a if n not in b]
+        only_b = [n for n in b if n not in a]
+        if only_a:
+            print(f"  (only before: {len(only_a)} benchmarks)")
+        if only_b:
+            print(f"  (only after:  {len(only_b)} benchmarks)")
+    print(f"\ntotal benchmark wall time: {wall_a:.0f}ms -> {wall_b:.0f}ms "
+          f"({fmt_delta(wall_a, wall_b).strip()})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
