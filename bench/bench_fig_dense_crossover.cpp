@@ -1,0 +1,142 @@
+/// \file bench_fig_dense_crossover.cpp
+/// \brief Dense alltoall crossover sweep: the three `mpix::alltoall_init`
+/// methods (standard pairwise, node-aggregated, locality-aware Bruck)
+/// across message size x machine shape.  Not a paper figure — the paper's
+/// evaluation is sparse neighbor exchanges — but the same locality model
+/// applied to the dense collective the locality_aware reference repo left
+/// as future work.
+///
+/// Per sweep point the counters expose the method's network footprint
+/// (sum/max global messages, value totals, largest single message) next to
+/// its simulated init and per-iteration times, plus the crossover iteration
+/// count against the standard method.  Expected scaling for P ranks in R
+/// regions: standard sends P^2 - sum |region|^2 network messages,
+/// node_aggregated R(R-1), bruck R*ceil(log2 R).
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace benchfig;
+using mpix::AlltoallMethod;
+
+constexpr int kNumMethods = 3;
+constexpr std::size_t kElementSize = sizeof(double);
+
+struct Point {
+  int procs = 0;
+  int ppn = 0;    // ranks per region
+  int count = 0;  // values per rank pair
+};
+
+const std::vector<Point>& points() {
+  static const std::vector<Point> pts = [] {
+    std::vector<Point> out;
+    std::vector<int> procs{64, 256};
+    if (!quick_mode()) procs.push_back(512);
+    for (int p : procs)
+      for (int ppn : {4, 16}) {
+        std::vector<int> counts{1, 32};
+        if (!quick_mode() && p <= 256) counts.push_back(256);
+        for (int c : counts) out.push_back({p, ppn, c});
+      }
+    return out;
+  }();
+  return pts;
+}
+
+struct Data {
+  // Indexed [point][method].
+  std::vector<harness::DenseMeasurement> m[kNumMethods];
+  std::vector<int> crossover[kNumMethods];  // vs standard; standard = 0
+};
+
+const Data& data() {
+  static const Data d = [] {
+    Data out;
+    for (const Point& pt : points()) {
+      harness::MeasureConfig cfg;
+      cfg.ranks_per_region = pt.ppn;
+      cfg.plans = &plan_cache();
+      harness::DenseMeasurement per[kNumMethods];
+      for (int mi = 0; mi < kNumMethods; ++mi) {
+        per[mi] = harness::measure_dense_alltoall(
+            pt.procs, pt.count, kElementSize, mpix::kAllAlltoallMethods[mi],
+            cfg);
+        out.m[mi].push_back(per[mi]);
+      }
+      for (int mi = 0; mi < kNumMethods; ++mi)
+        out.crossover[mi].push_back(
+            mi == 0 ? 0
+                    : harness::crossover_iterations(
+                          per[0].init_seconds, per[0].start_wait_seconds,
+                          per[mi].init_seconds, per[mi].start_wait_seconds));
+    }
+    return out;
+  }();
+  return d;
+}
+
+void BM_DenseAlltoall(benchmark::State& state) {
+  const Data& d = data();
+  const int pi = static_cast<int>(state.range(0));
+  const int mi = static_cast<int>(state.range(1));
+  const Point& pt = points()[pi];
+  const harness::DenseMeasurement& m = d.m[mi][pi];
+  for (auto _ : state) benchmark::DoNotOptimize(m.init_seconds);
+  state.counters["procs"] = pt.procs;
+  state.counters["ppn"] = pt.ppn;
+  state.counters["msg_count"] = pt.count;
+  state.counters["msg_bytes"] =
+      static_cast<double>(pt.count) * static_cast<double>(kElementSize);
+  state.counters["init_sim_seconds"] = m.init_seconds;
+  state.counters["per_iter_sim_seconds"] = m.start_wait_seconds;
+  state.counters["sum_local_msgs"] = static_cast<double>(m.sum_local_msgs);
+  state.counters["sum_global_msgs"] = static_cast<double>(m.sum_global_msgs);
+  state.counters["max_rank_global_msgs"] =
+      static_cast<double>(m.max_global_msgs);
+  state.counters["sum_global_values"] =
+      static_cast<double>(m.sum_global_values);
+  state.counters["max_global_msg_values"] =
+      static_cast<double>(m.max_global_msg_values);
+  state.counters["crossover_iters"] = d.crossover[mi][pi];
+  state.SetLabel(std::string(
+                     mpix::to_string(mpix::kAllAlltoallMethods[mi])) +
+                 " P=" + std::to_string(pt.procs) +
+                 " ppn=" + std::to_string(pt.ppn) +
+                 " count=" + std::to_string(pt.count));
+}
+
+void register_benches() {
+  auto* b = benchmark::RegisterBenchmark("BM_DenseAlltoall", BM_DenseAlltoall);
+  b->ArgsProduct({index_range(points().size()),
+                  benchmark::CreateDenseRange(0, kNumMethods - 1, 1)})
+      ->Iterations(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchfig::init(&argc, argv);
+  register_benches();
+  benchmark::RunSpecifiedBenchmarks();
+  const Data& d = data();
+  std::printf(
+      "\nDense alltoall (element = %zu bytes; times are simulated seconds)\n"
+      "%6s %4s %6s | %-16s %12s %14s %12s %12s %10s\n",
+      kElementSize, "procs", "ppn", "count", "method", "init_s", "per_iter_s",
+      "glob_msgs", "glob_vals", "crossover");
+  for (std::size_t pi = 0; pi < points().size(); ++pi) {
+    const Point& pt = points()[pi];
+    for (int mi = 0; mi < kNumMethods; ++mi) {
+      const harness::DenseMeasurement& m = d.m[mi][pi];
+      std::printf("%6d %4d %6d | %-16s %12.3e %14.3e %12ld %12ld %10d\n",
+                  pt.procs, pt.ppn, pt.count,
+                  mpix::to_string(mpix::kAllAlltoallMethods[mi]),
+                  m.init_seconds, m.start_wait_seconds, m.sum_global_msgs,
+                  m.sum_global_values, d.crossover[mi][pi]);
+    }
+  }
+  benchmark::Shutdown();
+  return 0;
+}

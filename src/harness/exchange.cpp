@@ -190,20 +190,20 @@ std::uint64_t cache_key(std::uint64_t pattern_key, mpix::Method method,
 
 }  // namespace
 
-std::shared_ptr<const mpix::LocalityPlan> PlanCache::find(std::uint64_t key,
-                                                          int rank) {
+std::shared_ptr<const mpix::PlanBase> PlanCache::find_base(std::uint64_t key,
+                                                           int rank) {
   std::lock_guard<std::mutex> lk(mu_);
-  auto it = plans_.find({key, rank});
-  if (it == plans_.end()) {
+  auto* entry = plans_.find({key, rank});
+  if (!entry) {
     ++misses_;
     return nullptr;
   }
   ++hits_;
-  return it->second;
+  return *entry;
 }
 
 void PlanCache::put(std::uint64_t key, int rank,
-                    std::shared_ptr<const mpix::LocalityPlan> plan) {
+                    std::shared_ptr<const mpix::PlanBase> plan) {
   std::lock_guard<std::mutex> lk(mu_);
   if (plan) plans_[{key, rank}] = std::move(plan);
 }

@@ -22,7 +22,6 @@
 /// setup communication.
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <type_traits>
@@ -30,6 +29,7 @@
 
 #include "mpix/neighbor.hpp"
 #include "sparse/par_csr.hpp"
+#include "util/flat_map.hpp"
 
 namespace harness {
 
@@ -83,7 +83,11 @@ inline const char* to_string(Protocol p) {
   throw simmpi::SimError("to_string: invalid Protocol");
 }
 
-/// Host-side cache of locality plans, shared by all simulated ranks.
+/// Host-side cache of collective plans, shared by all simulated ranks.
+/// Stores any `mpix::PlanBase` kind — neighbor `LocalityPlan`s and dense
+/// `BruckPlan`s share one cache; the typed `find<P>` accessor resolves the
+/// kind on lookup (a key caching the wrong kind reads as a miss-with-hit
+/// accounting, so key construction should mix in the method).
 ///
 /// Keys identify the *global* exchange pattern (use `pattern_fingerprint`
 /// on the full `sparse::Halo`), so on any given exchange either every rank
@@ -95,13 +99,24 @@ inline const char* to_string(Protocol p) {
 /// Thread-safe: the engine resumes rank coroutines on a worker pool, so
 /// concurrent find/put from ranks of one phase are expected.  Entries are
 /// keyed per rank, hence hit/miss totals stay deterministic regardless of
-/// the interleaving.
+/// the interleaving.  Storage is a sorted-vector map (util::FlatMap):
+/// lookups during setup-heavy sweeps stay cache-friendly, and inserts
+/// happen only on the cold first exchange of a pattern.
 class PlanCache {
  public:
   /// Cached plan of `rank` under `key`, or null.  Counts a hit or a miss.
-  std::shared_ptr<const mpix::LocalityPlan> find(std::uint64_t key, int rank);
+  std::shared_ptr<const mpix::PlanBase> find_base(std::uint64_t key, int rank);
+
+  /// `find_base` downcast to the expected plan kind (null when the entry
+  /// is absent or of another kind).  Defaults to the neighbor plan so
+  /// existing callers read naturally.
+  template <class P = mpix::LocalityPlan>
+  std::shared_ptr<const P> find(std::uint64_t key, int rank) {
+    return std::dynamic_pointer_cast<const P>(find_base(key, rank));
+  }
+
   void put(std::uint64_t key, int rank,
-           std::shared_ptr<const mpix::LocalityPlan> plan);
+           std::shared_ptr<const mpix::PlanBase> plan);
 
   long hits() const {
     std::lock_guard<std::mutex> lk(mu_);
@@ -122,8 +137,8 @@ class PlanCache {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::pair<std::uint64_t, int>,
-           std::shared_ptr<const mpix::LocalityPlan>>
+  util::FlatMap<std::pair<std::uint64_t, int>,
+                std::shared_ptr<const mpix::PlanBase>>
       plans_;
   long hits_ = 0;
   long misses_ = 0;

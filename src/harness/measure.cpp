@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <map>
 #include <optional>
 
 #include "harness/hierarchy_cache.hpp"
@@ -29,7 +28,111 @@ Engine::Options engine_opts(const MeasureConfig& cfg) {
   return Engine::Options{.threads = cfg.threads};
 }
 
+/// Deterministic payload byte for the dense alltoall: byte `b` of value
+/// `k` of the (src -> dst) segment.
+std::byte dense_byte(int src, int dst, long k, std::size_t b) {
+  return static_cast<std::byte>(
+      (src * 131 + dst * 31 + k * 7 + static_cast<long>(b) * 13) & 0xff);
+}
+
+std::uint64_t dense_mix(std::uint64_t h, std::uint64_t v) {
+  return (h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2)));
+}
+
+/// Plan-cache key of a uniform dense pattern.  Plans are independent of
+/// the element size (all offsets are in values), so it is excluded; the
+/// machine shape and method are what binding validates against.
+std::uint64_t dense_cache_key(int nranks, int count,
+                              mpix::AlltoallMethod method,
+                              const MeasureConfig& cfg) {
+  std::uint64_t h = 0xd05eA77A11ull;  // dense-alltoall salt
+  h = dense_mix(h, static_cast<std::uint64_t>(nranks));
+  h = dense_mix(h, static_cast<std::uint64_t>(count));
+  h = dense_mix(h, static_cast<std::uint64_t>(method));
+  h = dense_mix(h, static_cast<std::uint64_t>(cfg.ranks_per_region));
+  h = dense_mix(h, cfg.lpt_balance ? 1 : 0);
+  return h;
+}
+
 }  // namespace
+
+DenseMeasurement measure_dense_alltoall(int nranks, int count,
+                                        std::size_t element_size,
+                                        mpix::AlltoallMethod method,
+                                        const MeasureConfig& cfg) {
+  const int p = nranks;
+  Engine eng(machine_for(p, cfg), cfg.cost, engine_opts(cfg));
+  std::vector<double> init_elapsed(p, 0.0), iter_elapsed(p, 0.0);
+  std::vector<mpix::NeighborStats> stats(p);
+
+  const bool cacheable = cfg.plans && mpix::alltoall_uses_plan(method);
+  const std::uint64_t key =
+      cacheable ? dense_cache_key(p, count, method, cfg) : 0;
+
+  eng.run([&](Context& ctx) -> Task<> {
+    const int r = ctx.rank();
+    const std::size_t es = element_size;
+    const std::size_t bytes = static_cast<std::size_t>(p) *
+                              static_cast<std::size_t>(count) * es;
+    std::vector<std::byte> sendbuf(bytes), recvbuf(bytes);
+    for (int dst = 0; dst < p; ++dst)
+      for (long k = 0; k < count; ++k)
+        for (std::size_t b = 0; b < es; ++b)
+          sendbuf[(static_cast<std::size_t>(dst) * count + k) * es + b] =
+              dense_byte(r, dst, k, b);
+
+    mpix::Options mopts;
+    mopts.lpt_balance = cfg.lpt_balance;
+    std::shared_ptr<const mpix::PlanBase> cached;  // keeps the plan alive
+    if (cacheable) {
+      cached = cfg.plans->find_base(key, r);
+      mopts.plan = cached.get();
+    }
+
+    co_await ctx.engine().sync_reset(ctx);
+    auto coll = co_await mpix::alltoall_init(
+        ctx, ctx.world(), std::span<const std::byte>(sendbuf),
+        std::span<std::byte>(recvbuf), count, es, method, mopts);
+    init_elapsed[r] = ctx.now();
+    stats[r] = coll->stats();
+    if (cacheable && !cached) cfg.plans->put(key, r, coll->plan_base());
+
+    co_await ctx.engine().sync_reset(ctx);
+    co_await coll->start(ctx);
+    co_await coll->wait(ctx);
+    iter_elapsed[r] = ctx.now();
+
+    if (cfg.verify_payload) {
+      for (int src = 0; src < p; ++src)
+        for (long k = 0; k < count; ++k)
+          for (std::size_t b = 0; b < es; ++b)
+            if (recvbuf[(static_cast<std::size_t>(src) * count + k) * es + b] !=
+                dense_byte(src, r, k, b))
+              throw simmpi::SimError(
+                  "measure_dense_alltoall: payload verification failed "
+                  "(method " +
+                  std::string(mpix::to_string(method)) + ", rank " +
+                  std::to_string(r) + ")");
+    }
+    co_await simmpi::coll::barrier(ctx, ctx.world());
+    co_return;
+  });
+
+  DenseMeasurement out;
+  out.init_seconds =
+      *std::max_element(init_elapsed.begin(), init_elapsed.end());
+  out.start_wait_seconds =
+      *std::max_element(iter_elapsed.begin(), iter_elapsed.end());
+  for (const auto& s : stats) {
+    out.sum_local_msgs += s.local_msgs;
+    out.sum_global_msgs += s.global_msgs;
+    out.sum_global_values += s.global_values;
+    out.max_global_msgs = std::max(out.max_global_msgs, s.global_msgs);
+    out.max_global_msg_values =
+        std::max(out.max_global_msg_values, s.max_global_msg_values);
+  }
+  return out;
+}
 
 std::vector<LevelMeasurement> measure_protocol(const amg::DistHierarchy& dh,
                                                Protocol protocol,

@@ -20,6 +20,7 @@
 #include "amg/distribute.hpp"
 #include "amg/hierarchy.hpp"
 #include "harness/exchange.hpp"
+#include "mpix/alltoall.hpp"
 #include "simmpi/engine.hpp"
 
 namespace harness {
@@ -68,6 +69,29 @@ struct MeasureConfig {
 std::vector<LevelMeasurement> measure_protocol(const amg::DistHierarchy& dh,
                                                Protocol protocol,
                                                const MeasureConfig& cfg = {});
+
+/// Measurements of one dense alltoall method on one configuration
+/// (uniform counts; aggregated over all ranks of the simulated machine).
+struct DenseMeasurement {
+  double init_seconds = 0.0;        ///< collective init (max rank)
+  double start_wait_seconds = 0.0;  ///< one Start+Wait (max rank)
+  long sum_local_msgs = 0;          ///< intra-region messages, all ranks
+  long sum_global_msgs = 0;         ///< network message total, all ranks
+  long sum_global_values = 0;       ///< network value total, all ranks
+  long max_global_msgs = 0;         ///< max per rank
+  long max_global_msg_values = 0;   ///< largest single network message
+};
+
+/// Run one uniform dense alltoall (`mpix::alltoall_init`) of `count`
+/// values x `element_size` bytes per rank pair over the full simulated
+/// machine, and collect timings plus sender-side message counters.  With
+/// `cfg.verify_payload`, every delivered byte is checked against the
+/// deterministic pattern.  `cfg.plans` caches node_aggregated / bruck
+/// plans across calls keyed by (method, count, machine shape).
+DenseMeasurement measure_dense_alltoall(int nranks, int count,
+                                        std::size_t element_size,
+                                        mpix::AlltoallMethod method,
+                                        const MeasureConfig& cfg = {});
 
 /// Figure 6: cost of creating the per-level topology communicators
 /// (dist_graph_create_adjacent once per level), for one graph algorithm.

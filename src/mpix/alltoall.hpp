@@ -1,0 +1,197 @@
+#pragma once
+/// \file alltoall.hpp
+/// \brief Dense locality-aware persistent `alltoall{,v}` collectives.
+///
+/// The paper's aggregation idea applied to the *dense* personalized
+/// exchange (`MPI_Alltoall{,v}`), where every rank holds one segment for
+/// every other rank.  One entry point, `alltoallv_init`, dispatches over
+/// `AlltoallMethod`:
+///
+///  * `AlltoallMethod::standard` — pairwise persistent point-to-point, one
+///    message per (rank, rank) pair: P-1 inter-rank messages per rank,
+///    O(P^2) network messages total;
+///  * `AlltoallMethod::node_aggregated` — the two-stage PPN-aware scheme
+///    of MPI Advance's `PMPI_Alltoallv`: traffic toward each remote region
+///    is gathered onto one local leader per destination region, crosses
+///    the region boundary as a single message per directed region pair
+///    (R·(R-1) network messages), and is scattered locally on arrival;
+///  * `AlltoallMethod::bruck` — locality-aware log-P Bruck, the algorithm
+///    the reference repository left as a TODO: every rank first funnels
+///    its remote-bound data to its region leader (intra-region), then the
+///    R region leaders run ⌈log2 R⌉ Bruck rounds in which each region
+///    forwards *one* aggregated message per round (R·⌈log2 R⌉ network
+///    messages), and finally each leader scatters the arrived data to its
+///    region members.  Minimizes message count at the cost of forwarding
+///    values through up to ⌈log2 R⌉-1 intermediate regions.
+///
+/// Arguments reuse the byte-generic `AlltoallvArgs` of the neighbor
+/// collectives with one difference: counts/displacements carry one entry
+/// per *communicator rank* (the dense adjacency), not per neighbor.  The
+/// uniform-count `alltoall_init` convenience wrapper builds them.
+///
+/// Lifecycle, plan split and statistics mirror the neighbor collectives:
+/// init once (collective for the aggregated methods unless a plan is
+/// reused through `Options::plan`), then `start`/`wait` per iteration;
+/// `NeighborAlltoallv::stats()` counts intra-region ("local") and
+/// inter-region ("global") messages on the sender side, so
+/// `verify_stats()` and the measurement harness work unchanged.
+/// `node_aggregated` reuses the neighbor `LocalityPlan`; `bruck` has its
+/// own `BruckPlan`.  Both derive from `PlanBase`, cache like neighbor
+/// plans (see harness::PlanCache) and feed back through `Options::plan`.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mpix/neighbor.hpp"
+
+namespace mpix {
+
+/// The three dense implementations, selected at init.
+enum class AlltoallMethod {
+  standard,         ///< pairwise persistent p2p (O(P^2) messages)
+  node_aggregated,  ///< two-stage PPN-aware aggregation (R·(R-1))
+  bruck,            ///< locality-aware log-P Bruck (R·⌈log2 R⌉)
+};
+
+inline constexpr AlltoallMethod kAllAlltoallMethods[] = {
+    AlltoallMethod::standard, AlltoallMethod::node_aggregated,
+    AlltoallMethod::bruck};
+
+/// Whether the method performs collective setup (and therefore builds /
+/// accepts a reusable plan through `Options::plan`).
+constexpr bool alltoall_uses_plan(AlltoallMethod m) {
+  return m != AlltoallMethod::standard;
+}
+
+/// Human-readable method name ("standard", "node_aggregated", "bruck").
+const char* to_string(AlltoallMethod m);
+
+/// The reusable, buffer-free half of `AlltoallMethod::bruck` init: the
+/// complete rotation schedule of this rank — its region's ⌈log2 R⌉ Bruck
+/// rounds resolved into per-round peers, message sizes and value-run copy
+/// lists — plus the intra-region fill/deliver routing.  Built
+/// collectively (region metadata allgather + one comm-wide exchange of
+/// per-region traffic totals); binding buffers to it is purely local.
+/// All offsets are in *values*; binding scales by `element_size`.  Like
+/// LocalityPlan, instances are immutable and shared-ptr-owned.
+struct BruckPlan : PlanBase, std::enable_shared_from_this<BruckPlan> {
+  double setup_compute_per_word = 1.5e-9;  ///< from the Options at build
+
+  /// See LocalityPlan::binding_fingerprint (0 = unchecked).
+  std::uint64_t binding_fingerprint = 0;
+
+  /// The dense pattern the plan was built for (one entry per comm rank).
+  std::vector<int> sendcounts, sdispls, recvcounts, rdispls;
+
+  int regions = 0;  ///< R: regions spanned by the communicator
+
+  /// A contiguous value copy: `len` values from position `src` of the
+  /// source array to position `dst` of the destination array.
+  struct Run {
+    long src = 0;
+    long dst = 0;
+    long len = 0;
+  };
+
+  /// Intra-region traffic: direct user-buffer p2p, as in the neighbor
+  /// locality plan.
+  std::vector<LocalityPlan::DirectMsg> l_sends, l_recvs;
+
+  int leader = -1;        ///< comm-local rank of my region's leader
+  bool is_leader = false;
+
+  // -- member side (every rank of a multi-rank region, incl. the leader
+  //    for its self-copies) --------------------------------------------
+  std::vector<Run> fill_gather;  ///< sendbuf -> fill message (to leader)
+  long fill_values = 0;
+  std::vector<Run> from_leader;  ///< deliver message -> recvbuf
+  long from_leader_values = 0;
+
+  // -- leader side ------------------------------------------------------
+  /// One intra-region staged message: `runs` place (fill) or gather
+  /// (deliver) `values` message values against the resident buffer.
+  struct Place {
+    int peer = -1;  ///< comm-local member rank
+    long values = 0;
+    std::vector<Run> runs;
+  };
+  std::vector<Place> fill_recvs;  ///< per non-leader member: msg -> resident
+  std::vector<Run> fill_self;     ///< own sendbuf -> resident
+
+  /// One Bruck round of my region: ship `gather`ed resident values to the
+  /// next region, retain `keep`, splice the incoming message via `merge`.
+  /// gather/keep read the current resident buffer; keep/merge write the
+  /// next one (ping-pong).
+  struct Round {
+    int send_peer = -1, recv_peer = -1;  ///< comm-local leader ranks
+    long send_values = 0, recv_values = 0;
+    std::vector<Run> gather;  ///< resident(cur) -> round message
+    std::vector<Run> keep;    ///< resident(cur) -> resident(next)
+    std::vector<Run> merge;   ///< round recv message -> resident(next)
+  };
+  std::vector<Round> rounds;
+
+  std::vector<Place> delivers;    ///< per non-leader member: resident -> msg
+  std::vector<Run> deliver_self;  ///< resident -> own recvbuf
+
+  long resident_values = 0;  ///< resident buffer size (max over epochs)
+  long round_send_max = 0;   ///< largest per-round outgoing message
+  long round_recv_max = 0;   ///< largest per-round incoming message
+
+  NeighborStats stats;  ///< fixed at plan time (independent of payload)
+};
+
+/// Create a persistent dense all-to-all-v (the dense analogue of
+/// `neighbor_alltoallv_init`).  Counts/displacements must carry one entry
+/// per rank of `comm`, in comm-rank order; self traffic (entry
+/// `comm.rank()`) is delivered like any other segment.  Collective over
+/// `comm` for the aggregated methods unless `opts.plan` is given
+/// (`node_aggregated` takes a LocalityPlan, `bruck` a BruckPlan — feed
+/// back `NeighborAlltoallv::plan_base()`); `standard` never communicates
+/// during init.
+simmpi::Task<std::unique_ptr<NeighborAlltoallv>> alltoallv_init(
+    simmpi::Context& ctx, simmpi::Comm comm, AlltoallvArgs args,
+    AlltoallMethod method = AlltoallMethod::standard, Options opts = {});
+
+/// Uniform-count convenience wrapper (MPI_Alltoall): every rank exchanges
+/// `count` values of `element_size` bytes with every rank.  `sendbuf` /
+/// `recvbuf` must hold exactly `comm.size() * count` values; segment i
+/// (for rank i) starts at value `i * count`.
+simmpi::Task<std::unique_ptr<NeighborAlltoallv>> alltoall_init(
+    simmpi::Context& ctx, simmpi::Comm comm,
+    std::span<const std::byte> sendbuf, std::span<std::byte> recvbuf,
+    int count, std::size_t element_size,
+    AlltoallMethod method = AlltoallMethod::standard, Options opts = {});
+
+/// Build just the reusable plan for a dense pattern (collective; all
+/// setup communication happens here).  Returns a LocalityPlan for
+/// `node_aggregated`, a BruckPlan for `bruck`; throws for `standard`,
+/// which has no plan.  `args` payload spans are never read.
+simmpi::Task<std::shared_ptr<const PlanBase>> make_alltoall_plan(
+    simmpi::Context& ctx, simmpi::Comm comm, const AlltoallvArgs& args,
+    AlltoallMethod method, Options opts = {});
+
+/// Typed-argument overloads, normalizing the wrapper to the byte-based
+/// core inside a plain (non-coroutine) function (see the g++ 12 warning
+/// on the neighbor typed overloads; the same idiom applies here).
+template <class T>
+simmpi::Task<std::unique_ptr<NeighborAlltoallv>> alltoallv_init(
+    simmpi::Context& ctx, simmpi::Comm comm, const AlltoallvArgsT<T>& args,
+    AlltoallMethod method = AlltoallMethod::standard, Options opts = {}) {
+  AlltoallvArgs bytes = args;
+  return alltoallv_init(ctx, std::move(comm), std::move(bytes), method,
+                        std::move(opts));
+}
+
+template <class T>
+simmpi::Task<std::unique_ptr<NeighborAlltoallv>> alltoall_init(
+    simmpi::Context& ctx, simmpi::Comm comm, std::span<const T> sendbuf,
+    std::span<T> recvbuf, int count,
+    AlltoallMethod method = AlltoallMethod::standard, Options opts = {}) {
+  return alltoall_init(ctx, std::move(comm), std::as_bytes(sendbuf),
+                       std::as_writable_bytes(recvbuf), count, sizeof(T),
+                       method, std::move(opts));
+}
+
+}  // namespace mpix

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 namespace mpix::detail {
 
@@ -13,6 +14,24 @@ void validate_args(const simmpi::DistGraph& graph, const AlltoallvArgs& args,
   const std::size_t ns = graph.sources.size();
   if (args.element_size == 0)
     throw SimError("neighbor_alltoallv: element_size must be positive");
+  // Ragged payload buffers: send_values()/recv_values() divide by
+  // element_size, so a trailing partial value would silently be dropped.
+  if (args.sendbuf.size() % args.element_size != 0)
+    throw SimError(
+        "neighbor_alltoallv: sendbuf holds " +
+        std::to_string(args.sendbuf.size()) +
+        " bytes, not a multiple of element_size " +
+        std::to_string(args.element_size) + " (remainder " +
+        std::to_string(args.sendbuf.size() % args.element_size) +
+        " bytes would be silently dropped)");
+  if (args.recvbuf.size() % args.element_size != 0)
+    throw SimError(
+        "neighbor_alltoallv: recvbuf holds " +
+        std::to_string(args.recvbuf.size()) +
+        " bytes, not a multiple of element_size " +
+        std::to_string(args.element_size) + " (remainder " +
+        std::to_string(args.recvbuf.size() % args.element_size) +
+        " bytes would be silently dropped)");
   if (args.sendcounts.size() != nd || args.sdispls.size() != nd)
     throw SimError("neighbor_alltoallv: send counts/displs size mismatch");
   if (args.recvcounts.size() != ns || args.rdispls.size() != ns)
@@ -44,6 +63,22 @@ void validate_args(const simmpi::DistGraph& graph, const AlltoallvArgs& args,
           "neighbor_alltoallv: dedup requires send_idx/recv_idx covering "
           "the send/recv buffers");
   }
+}
+
+void reject_duplicate_edges(const simmpi::DistGraph& graph) {
+  auto check = [](std::span<const int> ranks, const char* what) {
+    std::vector<int> sorted(ranks.begin(), ranks.end());
+    std::sort(sorted.begin(), sorted.end());
+    auto it = std::adjacent_find(sorted.begin(), sorted.end());
+    if (it != sorted.end())
+      throw SimError(
+          "neighbor_alltoallv: locality methods require unique " +
+          std::string(what) + " (rank " + std::to_string(*it) +
+          " appears more than once; merge the segments or use "
+          "Method::standard)");
+  };
+  check(graph.destinations, "destinations");
+  check(graph.sources, "sources");
 }
 
 namespace {

@@ -20,6 +20,15 @@ namespace mpix::detail {
 void validate_args(const simmpi::DistGraph& graph, const AlltoallvArgs& args,
                    bool need_idx);
 
+/// Reject duplicate entries in the graph's destination or source lists.
+/// The standard method delivers duplicates deterministically (all segments
+/// toward one peer share a tag; the engine's phase commit keeps each
+/// (src, dst, tag) channel FIFO in program order), but the locality
+/// methods key routing tables by peer rank, which would collapse
+/// duplicate edges and misroute their segments — so plan construction
+/// refuses them up front.  Throws SimError naming the duplicated rank.
+void reject_duplicate_edges(const simmpi::DistGraph& graph);
+
 /// Fingerprint of a communicator's membership and the machine's region
 /// layout over it — what a LocalityPlan's comm-local peer ranks are only
 /// valid against (see LocalityPlan::binding_fingerprint).

@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "mpix/alltoall.hpp"
 #include "mpix/neighbor.hpp"
 
 namespace mpix::impl {
@@ -32,5 +33,18 @@ std::unique_ptr<NeighborAlltoallv> make_standard(simmpi::Context& ctx,
 std::unique_ptr<NeighborAlltoallv> bind_locality(
     simmpi::Context& ctx, const simmpi::DistGraph& graph, AlltoallvArgs args,
     std::shared_ptr<const LocalityPlan> plan, const Options& opts);
+
+/// Dense `AlltoallMethod::bruck`: collectively build the rotation
+/// schedule (bruck.cpp).  Counts/displacements carry one entry per comm
+/// rank; payload spans are never read.  Same plain-wrapper caveat as
+/// build_locality_plan.
+simmpi::Task<std::shared_ptr<const BruckPlan>> build_bruck_plan(
+    simmpi::Context& ctx, simmpi::Comm comm, AlltoallvArgs args, Options opts);
+
+/// Dense `AlltoallMethod::bruck`: bind buffers and channels to a finished
+/// BruckPlan.  Purely local.
+std::unique_ptr<NeighborAlltoallv> bind_bruck(
+    simmpi::Context& ctx, simmpi::Comm comm, AlltoallvArgs args,
+    std::shared_ptr<const BruckPlan> plan, const Options& opts);
 
 }  // namespace mpix::impl

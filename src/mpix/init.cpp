@@ -36,11 +36,16 @@ simmpi::Task<std::unique_ptr<NeighborAlltoallv>> init_impl(
   }
   std::shared_ptr<const LocalityPlan> plan;
   if (opts.plan) {
-    if (opts.plan->dedup != needs_idx(method))
+    auto* lp = dynamic_cast<const LocalityPlan*>(opts.plan);
+    if (!lp)
+      throw SimError(
+          "neighbor_alltoallv_init: Options::plan is not a LocalityPlan "
+          "(wrong plan kind for a neighbor method)");
+    if (lp->dedup != needs_idx(method))
       throw SimError(
           "neighbor_alltoallv_init: plan's dedup mode does not match the "
           "requested Method");
-    plan = opts.plan->shared_from_this();
+    plan = lp->shared_from_this();
   } else {
     plan = co_await impl::build_locality_plan(ctx, graph, args, method, opts);
   }

@@ -169,6 +169,7 @@ Task<std::shared_ptr<const LocalityPlan>> impl::build_locality_plan(
         "make_locality_plan: Method::standard has no locality plan");
   const bool dedup = needs_idx(method);
   detail::validate_args(graph, args, dedup);
+  detail::reject_duplicate_edges(graph);
   const Comm& comm = graph.comm;
   const auto& machine = ctx.engine().machine();
 

@@ -155,6 +155,16 @@ struct NeighborStats {
   long max_global_msg_values = 0;
 };
 
+/// Common polymorphic base of every reusable collective plan (the
+/// neighbor methods' LocalityPlan, the dense methods' BruckPlan in
+/// alltoall.hpp).  Exists so plan-agnostic plumbing — Options::plan, the
+/// harness PlanCache — can hold any plan kind behind one pointer type;
+/// each init entry point dynamic_casts to the kind its method needs and
+/// throws on mismatch.
+struct PlanBase {
+  virtual ~PlanBase() = default;
+};
+
 /// The reusable, buffer-free half of locality-aware init: every routing
 /// decision for one (pattern, machine, method) combination — leader
 /// assignments resolved into per-message peers, gather/scatter index maps,
@@ -169,7 +179,8 @@ struct NeighborStats {
 /// (`neighbor_alltoallv_init` holds them by shared_ptr-to-const; plans fed
 /// back through `Options::plan` must originate from `make_locality_plan`
 /// or `NeighborAlltoallv::plan`, which always own them that way).
-struct LocalityPlan : std::enable_shared_from_this<LocalityPlan> {
+struct LocalityPlan : PlanBase,
+                      std::enable_shared_from_this<LocalityPlan> {
   bool dedup = false;
   bool lpt_balance = true;
   double setup_compute_per_word = 1.5e-9;  ///< from the Options at build time
@@ -250,6 +261,10 @@ class NeighborAlltoallv {
   /// Feed it back through Options::plan to re-init on the same pattern
   /// without any setup communication.
   virtual std::shared_ptr<const LocalityPlan> plan() const { return nullptr; }
+  /// The plan behind this instance as the kind-agnostic base (covers plan
+  /// kinds that are not a LocalityPlan, e.g. the dense Bruck method's).
+  /// Null only for planless methods.
+  virtual std::shared_ptr<const PlanBase> plan_base() const { return plan(); }
 };
 
 /// Tunable knobs of `neighbor_alltoallv_init`.
@@ -260,14 +275,16 @@ struct Options {
   bool lpt_balance = true;
   /// Modeled CPU cost per metadata word during setup parsing/plan build.
   double setup_compute_per_word = 1.5e-9;
-  /// Reuse a previously built plan (see LocalityPlan): init then performs
-  /// no communication.  Non-owning — the caller keeps the plan alive until
-  /// init returns (the created collective then takes shared ownership).
-  /// The plan must come from make_locality_plan / NeighborAlltoallv::plan
-  /// and match the method, the argument pattern, and the graph adjacency,
-  /// or init throws.  `lpt_balance`/`setup_compute_per_word` are ignored
-  /// on reuse (the plan keeps the values it was built with).
-  const LocalityPlan* plan = nullptr;
+  /// Reuse a previously built plan: init then performs no communication.
+  /// Non-owning — the caller keeps the plan alive until init returns (the
+  /// created collective then takes shared ownership).  The plan must come
+  /// from make_locality_plan / NeighborAlltoallv::plan{,_base} (or the
+  /// dense builders in alltoall.hpp) and match the method — including the
+  /// plan *kind*: a neighbor method needs a LocalityPlan, dense bruck a
+  /// BruckPlan — the argument pattern, and the graph adjacency, or init
+  /// throws.  `lpt_balance`/`setup_compute_per_word` are ignored on reuse
+  /// (the plan keeps the values it was built with).
+  const PlanBase* plan = nullptr;
 };
 
 // Options is frequently written as a braced temporary inside co_await'd

@@ -1,7 +1,6 @@
 #include "sparse/par_csr.hpp"
 
 #include <algorithm>
-#include <map>
 
 namespace sparse {
 
@@ -40,9 +39,13 @@ ParCsr ParCsr::distribute(const Csr& A, std::vector<long> row_part,
     offd_cols.erase(std::unique(offd_cols.begin(), offd_cols.end()),
                     offd_cols.end());
     slice.col_map_offd = offd_cols;
-    std::map<long, int> offd_index;
-    for (std::size_t i = 0; i < offd_cols.size(); ++i)
-      offd_index[offd_cols[i]] = static_cast<int>(i);
+    // offd_cols is sorted unique, so the offd-local index of a global
+    // column is just its lower_bound position — no side map needed.
+    auto offd_index = [&](long col) {
+      return static_cast<int>(
+          std::lower_bound(offd_cols.begin(), offd_cols.end(), col) -
+          offd_cols.begin());
+    };
 
     std::vector<Triplet> diag_tr, offd_tr;
     for (long row = r0; row < r1; ++row) {
@@ -54,7 +57,7 @@ ParCsr ParCsr::distribute(const Csr& A, std::vector<long> row_part,
           diag_tr.push_back(Triplet{lr, static_cast<int>(cols[k] - c0),
                                     vals[k]});
         else
-          offd_tr.push_back(Triplet{lr, offd_index.at(cols[k]), vals[k]});
+          offd_tr.push_back(Triplet{lr, offd_index(cols[k]), vals[k]});
       }
     }
     slice.diag = Csr::from_triplets(nrows, ncols, std::move(diag_tr));

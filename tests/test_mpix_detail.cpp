@@ -248,6 +248,55 @@ TEST(ValidatePlanArgs, RejectsPatternDrift) {
   EXPECT_THROW(validate_plan_args(plan, f.graph, a), simmpi::SimError);
 }
 
+TEST(ValidateArgs, RejectsRaggedPayloadBuffers) {
+  // A trailing partial value (buffer bytes not a multiple of element_size)
+  // would be silently dropped by the value-count arithmetic; validate_args
+  // must reject it and name the remainder.
+  ArgsFixture f;
+  auto a = f.args();
+  a.sendbuf = a.sendbuf.first(a.sendbuf.size() - 3);
+  try {
+    validate_args(f.graph, a, false);
+    FAIL() << "ragged sendbuf accepted";
+  } catch (const simmpi::SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("sendbuf"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("remainder 5"), std::string::npos);
+  }
+  a = f.args();
+  a.recvbuf = a.recvbuf.first(a.recvbuf.size() - 7);
+  try {
+    validate_args(f.graph, a, false);
+    FAIL() << "ragged recvbuf accepted";
+  } catch (const simmpi::SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("recvbuf"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("remainder 1"), std::string::npos);
+  }
+}
+
+TEST(RejectDuplicateEdges, AcceptsUniqueAdjacency) {
+  simmpi::DistGraph g;
+  g.destinations = {3, 1, 2};
+  g.sources = {0, 5};
+  EXPECT_NO_THROW(reject_duplicate_edges(g));
+  simmpi::DistGraph empty;
+  EXPECT_NO_THROW(reject_duplicate_edges(empty));
+}
+
+TEST(RejectDuplicateEdges, NamesTheDuplicatedRank) {
+  simmpi::DistGraph g;
+  g.destinations = {2, 4, 2};
+  g.sources = {1};
+  try {
+    reject_duplicate_edges(g);
+    FAIL() << "duplicate destination accepted";
+  } catch (const simmpi::SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 2"), std::string::npos);
+  }
+  g.destinations = {2, 4};
+  g.sources = {7, 7};
+  EXPECT_THROW(reject_duplicate_edges(g), simmpi::SimError);
+}
+
 TEST(EdgeOrdering, SortsBySrcThenDst) {
   std::vector<Edge> v;
   v.push_back(Edge{2, 1, 1, {}});

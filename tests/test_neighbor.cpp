@@ -193,6 +193,106 @@ TEST(Neighbor, MismatchedCountsRejected) {
 }
 
 // ---------------------------------------------------------------------------
+// Duplicate destinations/sources in the adjacency (legal in MPI dist
+// graphs): the standard method must deliver them deterministically —
+// sends and recvs of one (src, dst) channel match in segment order at
+// every engine width — while the locality methods, whose aggregation maps
+// are keyed by peer rank, must reject them loudly instead of silently
+// merging segments.
+// ---------------------------------------------------------------------------
+TEST(Neighbor, DuplicateEdgesDeliverDeterministicallyWithStandard) {
+  std::vector<double> recv_by_width[2];
+  const int widths[] = {1, 4};
+  for (int wi = 0; wi < 2; ++wi) {
+    Engine eng(Machine({.num_nodes = 1, .regions_per_node = 1,
+                        .ranks_per_region = 2}),
+               CostParams::lassen(), Engine::Options{.threads = widths[wi]});
+    std::vector<double>& got = recv_by_width[wi];
+    eng.run([&](Context& ctx) -> Task<> {
+      const int r = ctx.rank();
+      std::vector<double> sendbuf, recvbuf;
+      DistGraph g;
+      g.comm = ctx.world();
+      AlltoallvArgs args;
+      if (r == 0) {
+        // Two distinct segments toward the same destination.
+        g.destinations = {1, 1};
+        sendbuf = {1.0, 2.0, 10.0, 20.0, 30.0};
+        args = AlltoallvArgsT<double>{.sendbuf = sendbuf,
+                                      .sendcounts = {2, 3},
+                                      .sdispls = {0, 2},
+                                      .recvbuf = recvbuf,
+                                      .recvcounts = {},
+                                      .rdispls = {}};
+      } else {
+        g.sources = {0, 0};
+        recvbuf.assign(5, -1.0);
+        args = AlltoallvArgsT<double>{.sendbuf = sendbuf,
+                                      .sendcounts = {},
+                                      .sdispls = {},
+                                      .recvbuf = recvbuf,
+                                      .recvcounts = {2, 3},
+                                      .rdispls = {0, 2}};
+      }
+      auto coll =
+          co_await neighbor_alltoallv_init(ctx, g, args, Method::standard);
+      co_await coll->start(ctx);
+      co_await coll->wait(ctx);
+      if (r == 1) {
+        // FIFO per channel: segment i of the sender lands in recv slot i.
+        EXPECT_EQ(recvbuf, (std::vector<double>{1, 2, 10, 20, 30}));
+        got = recvbuf;
+      }
+      co_return;
+    });
+  }
+  EXPECT_EQ(recv_by_width[0], recv_by_width[1]);
+}
+
+TEST(Neighbor, DuplicateEdgesRejectedByLocalityMethods) {
+  for (Method m : {Method::locality, Method::locality_dedup}) {
+    Engine eng(Machine({.num_nodes = 1, .regions_per_node = 1,
+                        .ranks_per_region = 2}),
+               CostParams::lassen());
+    EXPECT_THROW(
+        eng.run([&](Context& ctx) -> Task<> {
+          const int r = ctx.rank();
+          std::vector<double> sendbuf, recvbuf;
+          std::vector<gidx> send_idx, recv_idx;
+          DistGraph g;
+          g.comm = ctx.world();
+          AlltoallvArgs args;
+          if (r == 0) {
+            g.destinations = {1, 1};
+            sendbuf = {1.0, 2.0};
+            send_idx = {100, 101};
+            args = AlltoallvArgsT<double>{.sendbuf = sendbuf,
+                                          .sendcounts = {1, 1},
+                                          .sdispls = {0, 1},
+                                          .recvbuf = recvbuf,
+                                          .recvcounts = {},
+                                          .rdispls = {},
+                                          .send_idx = send_idx};
+          } else {
+            g.sources = {0, 0};
+            recvbuf.assign(2, -1.0);
+            recv_idx = {100, 101};
+            args = AlltoallvArgsT<double>{.sendbuf = sendbuf,
+                                          .sendcounts = {},
+                                          .sdispls = {},
+                                          .recvbuf = recvbuf,
+                                          .recvcounts = {1, 1},
+                                          .rdispls = {0, 1},
+                                          .recv_idx = recv_idx};
+          }
+          co_await neighbor_alltoallv_init(ctx, g, args, m);
+        }),
+        SimError)
+        << static_cast<int>(m);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // The paper's Example 2.1 (Figures 2-5): two regions of four ranks; region 0
 // holds two values per rank (circle = gid 2r, square = gid 2r+1), shaded
 // with the destination ranks in region 1.
