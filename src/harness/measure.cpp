@@ -21,7 +21,17 @@ namespace {
 double x_value(long g) { return 0.5 * static_cast<double>(g) + 1.0; }
 
 Machine machine_for(int nranks, const MeasureConfig& cfg) {
-  return Machine::with_region_size(nranks, cfg.ranks_per_region);
+  if (cfg.regions_per_node <= 1)
+    return Machine::with_region_size(nranks, cfg.ranks_per_region);
+  const int per_node = cfg.regions_per_node * cfg.ranks_per_region;
+  if (nranks % per_node != 0)
+    throw simmpi::SimError(
+        "MeasureConfig: nranks must be a multiple of regions_per_node * "
+        "ranks_per_region (" +
+        std::to_string(nranks) + " % " + std::to_string(per_node) + " != 0)");
+  return Machine({.num_nodes = nranks / per_node,
+                  .regions_per_node = cfg.regions_per_node,
+                  .ranks_per_region = cfg.ranks_per_region});
 }
 
 Engine::Options engine_opts(const MeasureConfig& cfg) {
@@ -54,7 +64,159 @@ std::uint64_t dense_cache_key(int nranks, int count,
   return h;
 }
 
+/// Plan-cache key of a generated workload.  The workload fingerprint
+/// already covers adjacency, counts and the gid seed; the method, machine
+/// shape and leader strategy are mixed in because they change the plan.
+/// Element size is excluded (plan offsets are in values).  The dense and
+/// sparse paths use distinct salts so their keys cannot collide.
+std::uint64_t pattern_cache_key(const patterns::Workload& wl,
+                                std::uint64_t salt, std::uint64_t method,
+                                const MeasureConfig& cfg) {
+  std::uint64_t h = salt;
+  h = dense_mix(h, wl.fingerprint());
+  h = dense_mix(h, method);
+  h = dense_mix(h, static_cast<std::uint64_t>(cfg.ranks_per_region));
+  h = dense_mix(h, static_cast<std::uint64_t>(cfg.regions_per_node));
+  h = dense_mix(h, cfg.lpt_balance ? 1 : 0);
+  return h;
+}
+
+/// Shared engine body of measure_pattern / measure_pattern_dense: `init`
+/// builds the collective (charging its setup against the clock), then the
+/// blocking and overlapped windows run and verify.  `Init` is a callable
+/// `(Context&, AlltoallvArgs, Options) -> Task<unique_ptr<...>>`.
+template <class Init>
+PatternMeasurement run_pattern(const patterns::Workload& wl,
+                               const MeasureConfig& cfg,
+                               std::size_t element_size, bool cacheable,
+                               std::uint64_t key, const char* what,
+                               bool dense, Init init) {
+  const int p = wl.nranks;
+  Engine eng(machine_for(p, cfg), cfg.cost, engine_opts(cfg));
+  std::vector<double> init_elapsed(p, 0.0), block_elapsed(p, 0.0),
+      overlap_elapsed(p, 0.0);
+  std::vector<mpix::NeighborStats> stats(p);
+
+  eng.run([&](Context& ctx) -> Task<> {
+    const int r = ctx.rank();
+    patterns::RankBuffers buf = patterns::make_buffers(wl, r, element_size);
+    mpix::AlltoallvArgs args =
+        dense ? patterns::dense_args_view(wl, r, buf, element_size)
+              : patterns::args_view(wl, r, buf, element_size);
+
+    mpix::Options mopts;
+    mopts.lpt_balance = cfg.lpt_balance;
+    std::shared_ptr<const mpix::PlanBase> cached;  // keeps the plan alive
+    if (cacheable) {
+      cached = cfg.plans->find_base(key, r);
+      mopts.plan = cached.get();
+    }
+
+    co_await ctx.engine().sync_reset(ctx);
+    auto coll = co_await init(ctx, std::move(args), mopts);
+    init_elapsed[r] = ctx.now();
+    stats[r] = coll->stats();
+    if (cacheable && !cached) cfg.plans->put(key, r, coll->plan_base());
+
+    auto check = [&](const char* window) {
+      if (!cfg.verify_payload) return;
+      const long bad = patterns::verify_recv(wl, r, buf, element_size);
+      if (bad != 0)
+        throw simmpi::SimError(std::string(what) + ": " + wl.pattern + " " +
+                               window + " window delivered " +
+                               std::to_string(bad) +
+                               " bad byte(s) on rank " + std::to_string(r));
+    };
+
+    // Blocking window: communication completes before the compute runs.
+    co_await ctx.engine().sync_reset(ctx);
+    co_await coll->start(ctx);
+    co_await coll->wait(ctx);
+    ctx.compute(wl.overlap_seconds);
+    block_elapsed[r] = ctx.now();
+    check("blocking");
+    patterns::clear_recv(buf);
+
+    // Overlapped window: the same compute is charged between start and
+    // wait, hiding transfer time behind it.
+    co_await ctx.engine().sync_reset(ctx);
+    co_await coll->start(ctx);
+    ctx.compute(wl.overlap_seconds);
+    co_await coll->wait(ctx);
+    overlap_elapsed[r] = ctx.now();
+    check("overlapped");
+
+    co_await simmpi::coll::barrier(ctx, ctx.world());
+    co_return;
+  });
+
+  PatternMeasurement out;
+  out.init_seconds =
+      *std::max_element(init_elapsed.begin(), init_elapsed.end());
+  out.blocking_seconds =
+      *std::max_element(block_elapsed.begin(), block_elapsed.end());
+  out.overlapped_seconds =
+      *std::max_element(overlap_elapsed.begin(), overlap_elapsed.end());
+  out.overlap_seconds = wl.overlap_seconds;
+  for (const auto& s : stats) {
+    out.sum_local_msgs += s.local_msgs;
+    out.sum_global_msgs += s.global_msgs;
+    out.sum_local_values += s.local_values;
+    out.sum_global_values += s.global_values;
+    out.max_global_msgs = std::max(out.max_global_msgs, s.global_msgs);
+    out.max_global_msg_values =
+        std::max(out.max_global_msg_values, s.max_global_msg_values);
+  }
+  return out;
+}
+
 }  // namespace
+
+PatternMeasurement measure_pattern(const patterns::Workload& wl,
+                                   mpix::Method method,
+                                   const MeasureConfig& cfg,
+                                   std::size_t element_size) {
+  const bool cacheable = cfg.plans != nullptr && mpix::uses_locality(method);
+  const std::uint64_t key =
+      cacheable ? pattern_cache_key(wl, 0x9a77e481ull,
+                                    static_cast<std::uint64_t>(method), cfg)
+                : 0;
+  return run_pattern(
+      wl, cfg, element_size, cacheable, key, "measure_pattern",
+      /*dense=*/false,
+      [&wl, method, algo = cfg.graph_algo](Context& ctx,
+                                           mpix::AlltoallvArgs args,
+                                           mpix::Options mopts)
+          -> Task<std::unique_ptr<mpix::NeighborAlltoallv>> {
+        const patterns::RankExchange& ex = wl.ranks[ctx.rank()];
+        simmpi::DistGraph g = co_await simmpi::dist_graph_create_adjacent(
+            ctx, ctx.world(), ex.sources, ex.destinations, algo);
+        auto coll = co_await mpix::neighbor_alltoallv_init(
+            ctx, g, std::move(args), method, std::move(mopts));
+        co_return coll;
+      });
+}
+
+PatternMeasurement measure_pattern_dense(const patterns::Workload& wl,
+                                         mpix::AlltoallMethod method,
+                                         const MeasureConfig& cfg,
+                                         std::size_t element_size) {
+  const bool cacheable =
+      cfg.plans != nullptr && mpix::alltoall_uses_plan(method);
+  const std::uint64_t key =
+      cacheable ? pattern_cache_key(wl, 0xde45e481ull,
+                                    static_cast<std::uint64_t>(method), cfg)
+                : 0;
+  return run_pattern(
+      wl, cfg, element_size, cacheable, key, "measure_pattern_dense",
+      /*dense=*/true,
+      [method](Context& ctx, mpix::AlltoallvArgs args, mpix::Options mopts)
+          -> Task<std::unique_ptr<mpix::NeighborAlltoallv>> {
+        auto coll = co_await mpix::alltoallv_init(
+            ctx, ctx.world(), std::move(args), method, std::move(mopts));
+        co_return coll;
+      });
+}
 
 DenseMeasurement measure_dense_alltoall(int nranks, int count,
                                         std::size_t element_size,

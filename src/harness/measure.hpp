@@ -21,6 +21,7 @@
 #include "amg/hierarchy.hpp"
 #include "harness/exchange.hpp"
 #include "mpix/alltoall.hpp"
+#include "patterns/pattern.hpp"
 #include "simmpi/engine.hpp"
 
 namespace harness {
@@ -41,6 +42,11 @@ struct LevelMeasurement {
 /// Configuration of a measurement run.
 struct MeasureConfig {
   int ranks_per_region = 16;  ///< the paper's Lassen setting
+  /// NUMA regions per node of the simulated machine.  1 (the default)
+  /// keeps the paper's one-region-per-node layout and allows a single
+  /// partially filled region; >1 requires nranks to be a multiple of
+  /// regions_per_node * ranks_per_region.
+  int regions_per_node = 1;
   simmpi::CostParams cost = simmpi::CostParams::lassen();
   /// Scheduler width of the simulation engine (simmpi::Engine::Options
   /// ::threads: 0 = auto via COLLOM_SIM_THREADS / hardware concurrency).
@@ -92,6 +98,44 @@ DenseMeasurement measure_dense_alltoall(int nranks, int count,
                                         std::size_t element_size,
                                         mpix::AlltoallMethod method,
                                         const MeasureConfig& cfg = {});
+
+/// Measurements of one generated workload (patterns layer) under one
+/// method.  Three simulated windows, each bracketed by `Engine::sync_reset`
+/// and reported as the max rank-local elapsed virtual time:
+///  * init — topology + collective init (plan-cache-aware),
+///  * blocking — start; wait; then the workload's overlap window of
+///    simulated compute (communication and compute serialize),
+///  * overlapped — start; compute; wait (compute hides transfer time).
+/// With a non-zero overlap window, overlapped <= blocking always, and the
+/// gap is the pattern's exploitable overlap.
+struct PatternMeasurement {
+  double init_seconds = 0.0;
+  double blocking_seconds = 0.0;
+  double overlapped_seconds = 0.0;
+  double overlap_seconds = 0.0;  ///< simulated compute charged per window
+  long sum_local_msgs = 0;       ///< intra-region messages, all ranks
+  long sum_global_msgs = 0;      ///< network messages, all ranks
+  long sum_local_values = 0;
+  long sum_global_values = 0;
+  long max_global_msgs = 0;          ///< max per rank
+  long max_global_msg_values = 0;    ///< largest single network message
+};
+
+/// Run one generated workload through a sparse neighbor method
+/// (`mpix::neighbor_alltoallv_init` over the pattern's adjacency).  With
+/// `cfg.verify_payload`, both windows' delivered bytes are checked against
+/// the pattern's gid scheme.  `cfg.plans` caches locality plans keyed by
+/// (workload fingerprint, method, machine shape).
+PatternMeasurement measure_pattern(const patterns::Workload& wl,
+                                   mpix::Method method,
+                                   const MeasureConfig& cfg = {},
+                                   std::size_t element_size = sizeof(double));
+
+/// Run one generated workload through a dense alltoallv method (counts
+/// expanded to one entry per rank, zero for non-neighbors).
+PatternMeasurement measure_pattern_dense(
+    const patterns::Workload& wl, mpix::AlltoallMethod method,
+    const MeasureConfig& cfg = {}, std::size_t element_size = sizeof(double));
 
 /// Figure 6: cost of creating the per-level topology communicators
 /// (dist_graph_create_adjacent once per level), for one graph algorithm.

@@ -24,11 +24,11 @@
 /// (Section 3.3).
 
 #include <cstring>
-#include <map>
 #include <numeric>
 
 #include "mpix/detail.hpp"
 #include "mpix/impl.hpp"
+#include "util/flat_map.hpp"
 
 namespace mpix {
 
@@ -200,7 +200,7 @@ Task<std::shared_ptr<const LocalityPlan>> impl::build_locality_plan(
   const int tag_hs = ctx.engine().next_coll_tag(comm);
 
   // ---- l phase: straight from this rank's own arguments ------------------
-  std::map<int, int> dst_index, src_index;
+  util::FlatMap<int, int> dst_index, src_index;
   for (std::size_t i = 0; i < graph.destinations.size(); ++i)
     dst_index[graph.destinations[i]] = static_cast<int>(i);
   for (std::size_t i = 0; i < graph.sources.size(); ++i)
@@ -230,9 +230,9 @@ Task<std::shared_ptr<const LocalityPlan>> impl::build_locality_plan(
   std::vector<Edge> out_edges, in_edges;
   detail::parse_edges(all_md, dedup, out_edges, in_edges);
 
-  // Group remote traffic by peer region (std::map => ascending region ids,
-  // identical on every member since the metadata is identical).
-  std::map<int, std::vector<const Edge*>> out_pairs, in_pairs;
+  // Group remote traffic by peer region (sorted FlatMap => ascending region
+  // ids, identical on every member since the metadata is identical).
+  util::FlatMap<int, std::vector<const Edge*>> out_pairs, in_pairs;
   for (const auto& e : out_edges) {
     const int q = region_of(e.dst);
     if (q != my_region) out_pairs[q].push_back(&e);
@@ -258,7 +258,7 @@ Task<std::shared_ptr<const LocalityPlan>> impl::build_locality_plan(
       detail::assign_leaders(out_loads, nlocal, opts.lpt_balance);
   const auto in_assign =
       detail::assign_leaders(in_loads, nlocal, opts.lpt_balance);
-  std::map<int, int> out_leader_core, in_leader_core;
+  util::FlatMap<int, int> out_leader_core, in_leader_core;
   for (std::size_t i = 0; i < out_loads.size(); ++i)
     out_leader_core[out_loads[i].first] = out_assign[i];
   for (std::size_t i = 0; i < in_loads.size(); ++i)
@@ -268,11 +268,13 @@ Task<std::shared_ptr<const LocalityPlan>> impl::build_locality_plan(
   auto members = comm.members();
   std::vector<int> g2l(machine.num_ranks(), -1);
   for (int i = 0; i < comm.size(); ++i) g2l[members[i]] = i;
-  std::map<int, int> region_root;  // region -> smallest comm-local member
+  util::FlatMap<int, int> region_root;  // region -> smallest comm-local member
   for (int i = 0; i < comm.size(); ++i) {
     const int reg = machine.region_of(members[i]);
-    auto [it, fresh] = region_root.emplace(reg, i);
-    if (!fresh) it->second = std::min(it->second, i);
+    if (int* root = region_root.find(reg))
+      *root = std::min(*root, i);
+    else
+      region_root[reg] = i;
   }
   auto core_to_local = [&](int core) { return g2l[rc.global(core)]; };
   ctx.compute(opts.setup_compute_per_word * comm.size());
@@ -281,22 +283,22 @@ Task<std::shared_ptr<const LocalityPlan>> impl::build_locality_plan(
   // For pair (A -> B): A's root tells B's root A's send leader; B's root
   // tells A's root B's receive leader.  Message ordering per root channel is
   // deterministic (outbound loop before inbound loop on both ends).
-  std::map<int, int> g_dst_leader;  // Q  -> comm-local recv leader in Q
-  std::map<int, int> g_src_leader;  // R' -> comm-local send leader in R'
+  util::FlatMap<int, int> g_dst_leader;  // Q  -> comm-local recv leader in Q
+  util::FlatMap<int, int> g_src_leader;  // R' -> comm-local send leader in R'
   std::vector<long long> hs_blob;
-  if (me == region_root.at(my_region)) {
+  if (me == *region_root.find(my_region)) {
     for (const auto& [q, core] : out_leader_core)
       co_await coll::send_val<long long>(
-          ctx, comm, region_root.at(q), core_to_local(core), tag_hs);
+          ctx, comm, *region_root.find(q), core_to_local(core), tag_hs);
     for (const auto& [rr, core] : in_leader_core)
       co_await coll::send_val<long long>(
-          ctx, comm, region_root.at(rr), core_to_local(core), tag_hs);
+          ctx, comm, *region_root.find(rr), core_to_local(core), tag_hs);
     for (const auto& [rr, v] : in_pairs)
       g_src_leader[rr] = static_cast<int>(co_await coll::recv_val<long long>(
-          ctx, comm, region_root.at(rr), tag_hs));
+          ctx, comm, *region_root.find(rr), tag_hs));
     for (const auto& [q, v] : out_pairs)
       g_dst_leader[q] = static_cast<int>(co_await coll::recv_val<long long>(
-          ctx, comm, region_root.at(q), tag_hs));
+          ctx, comm, *region_root.find(q), tag_hs));
     hs_blob.push_back(static_cast<long long>(g_src_leader.size()));
     for (const auto& [rr, l] : g_src_leader) {
       hs_blob.push_back(rr);
@@ -309,7 +311,7 @@ Task<std::shared_ptr<const LocalityPlan>> impl::build_locality_plan(
     }
   }
   co_await coll::bcast(ctx, rc, hs_blob, 0);
-  if (me != region_root.at(my_region)) {
+  if (me != *region_root.find(my_region)) {
     std::size_t pos = 0;
     const long long nin = hs_blob[pos++];
     for (long long i = 0; i < nin; ++i) {
@@ -324,7 +326,7 @@ Task<std::shared_ptr<const LocalityPlan>> impl::build_locality_plan(
   }
 
   // ---- pair layouts and staging buffers ------------------------------------
-  std::map<int, PairLayout> out_layout, in_layout;
+  util::FlatMap<int, PairLayout> out_layout, in_layout;
   for (const auto& [q, v] : out_pairs)
     out_layout[q] = detail::pair_layout(v, dedup);
   for (const auto& [rr, v] : in_pairs)
@@ -336,31 +338,31 @@ Task<std::shared_ptr<const LocalityPlan>> impl::build_locality_plan(
   for (const auto& [rr, core] : in_leader_core)
     if (core == my_core) my_in_rs.push_back(rr);
 
-  std::map<int, long> s_block_off, g_block_off;
+  util::FlatMap<int, long> s_block_off, g_block_off;
   long s_total = 0, g_total = 0;
   for (int q : my_out_qs) {
     s_block_off[q] = s_total;
-    s_total += out_layout[q].total;
+    s_total += out_layout.find(q)->total;
   }
   for (int rr : my_in_rs) {
     g_block_off[rr] = g_total;
-    g_total += in_layout[rr].total;
+    g_total += in_layout.find(rr)->total;
   }
   plan->s_stage_values = s_total;
   plan->g_stage_values = g_total;
 
   // ---- g phase --------------------------------------------------------------
   for (int q : my_out_qs) {
-    plan->g_sends.push_back(
-        {g_dst_leader.at(q), s_block_off[q], out_layout[q].total});
+    const long total = out_layout.find(q)->total;
+    plan->g_sends.push_back({*g_dst_leader.find(q), *s_block_off.find(q), total});
     ++plan->stats.global_msgs;
-    plan->stats.global_values += out_layout[q].total;
+    plan->stats.global_values += total;
     plan->stats.max_global_msg_values =
-        std::max(plan->stats.max_global_msg_values, out_layout[q].total);
+        std::max(plan->stats.max_global_msg_values, total);
   }
   for (int rr : my_in_rs)
-    plan->g_recvs.push_back(
-        {g_src_leader.at(rr), g_block_off[rr], in_layout[rr].total});
+    plan->g_recvs.push_back({*g_src_leader.find(rr), *g_block_off.find(rr),
+                             in_layout.find(rr)->total});
 
   // ---- s phase: source side --------------------------------------------------
   for (int L = 0; L < nlocal; ++L) {
@@ -369,29 +371,31 @@ Task<std::shared_ptr<const LocalityPlan>> impl::build_locality_plan(
     for (const auto& [q, core] : out_leader_core) {
       if (core != L) continue;
       if (!dedup) {
-        for (const Edge* e : out_pairs.at(q)) {
+        for (const Edge* e : *out_pairs.find(q)) {
           if (e->src != me) continue;
-          const int i = dst_index.at(e->dst);
+          const int i = *dst_index.find(e->dst);
           for (int k = 0; k < e->count; ++k)
             gather.push_back(args.sdispls[i] + k);
         }
       } else {
         // Unique gids this rank contributes to Q, each gathered from its
-        // first occurrence in the send buffer.
-        std::map<gidx, int> first;
-        for (const Edge* e : out_pairs.at(q)) {
+        // first occurrence in the send buffer (keep-first, gid-ascending).
+        util::FlatMap<gidx, int> first;
+        for (const Edge* e : *out_pairs.find(q)) {
           if (e->src != me) continue;
-          const int i = dst_index.at(e->dst);
-          for (int k = 0; k < e->count; ++k)
-            first.emplace(args.send_idx[args.sdispls[i] + k],
-                          args.sdispls[i] + k);
+          const int i = *dst_index.find(e->dst);
+          for (int k = 0; k < e->count; ++k) {
+            const gidx gid = args.send_idx[args.sdispls[i] + k];
+            if (!first.find(gid)) first[gid] = args.sdispls[i] + k;
+          }
         }
         for (const auto& [gid, pos] : first) gather.push_back(pos);
       }
       if (L == my_core) {
         for (long off :
-             src_item_offsets(out_layout.at(q), out_pairs.at(q), me, dedup))
-          self_dst.push_back(static_cast<int>(s_block_off.at(q) + off));
+             src_item_offsets(*out_layout.find(q), *out_pairs.find(q), me,
+                              dedup))
+          self_dst.push_back(static_cast<int>(*s_block_off.find(q) + off));
       }
     }
     if (gather.empty()) continue;
@@ -412,9 +416,9 @@ Task<std::shared_ptr<const LocalityPlan>> impl::build_locality_plan(
       if (src == me) continue;
       std::vector<int> sc_dst;
       for (int q : my_out_qs)
-        for (long off :
-             src_item_offsets(out_layout.at(q), out_pairs.at(q), src, dedup))
-          sc_dst.push_back(static_cast<int>(s_block_off.at(q) + off));
+        for (long off : src_item_offsets(*out_layout.find(q),
+                                         *out_pairs.find(q), src, dedup))
+          sc_dst.push_back(static_cast<int>(*s_block_off.find(q) + off));
       if (sc_dst.empty()) continue;
       LocalityPlan::ScatterMsg m;
       m.peer = src;
@@ -433,18 +437,19 @@ Task<std::shared_ptr<const LocalityPlan>> impl::build_locality_plan(
       const int d = core_to_local(core);
       std::vector<int> gather;
       for (int rr : my_in_rs) {
-        const auto& pair = in_pairs.at(rr);
-        const auto& lay = in_layout.at(rr);
+        const auto& pair = *in_pairs.find(rr);
+        const auto& lay = *in_layout.find(rr);
+        const long block = *g_block_off.find(rr);
         for (std::size_t e = 0; e < pair.size(); ++e) {
           if (pair[e]->dst != d) continue;
           if (!dedup) {
             for (int k = 0; k < pair[e]->count; ++k)
-              gather.push_back(static_cast<int>(
-                  g_block_off.at(rr) + lay.segments[e].offset + k));
+              gather.push_back(
+                  static_cast<int>(block + lay.segments[e].offset + k));
           } else {
             for (gidx gid : detail::unique_sorted(pair[e]->gids))
-              gather.push_back(static_cast<int>(
-                  g_block_off.at(rr) + lay.find(pair[e]->src, gid)));
+              gather.push_back(
+                  static_cast<int>(block + lay.find(pair[e]->src, gid)));
           }
         }
       }
@@ -465,9 +470,9 @@ Task<std::shared_ptr<const LocalityPlan>> impl::build_locality_plan(
     int value_pos = 0;
     for (const auto& [rr, lcore] : in_leader_core) {
       if (lcore != core) continue;
-      for (const Edge* e : in_pairs.at(rr)) {
+      for (const Edge* e : *in_pairs.find(rr)) {
         if (e->dst != me) continue;
-        const int i = src_index.at(e->src);
+        const int i = *src_index.find(e->src);
         if (!dedup) {
           for (int k = 0; k < e->count; ++k) {
             sc_src.push_back(value_pos++);

@@ -60,6 +60,15 @@ struct CostParams {
   double nic_rate = 12.5e9;       ///< per-node injection bandwidth, bytes/s
   bool use_injection_cap = true;  ///< model the NIC as a queued resource
 
+  /// Per-node *ejection* (receive-side) bandwidth, bytes/s.  With
+  /// `use_ejection_cap` set, every network message bound for a node queues
+  /// behind the node's NIC on arrival, so N-to-1 incast serializes at the
+  /// destination even when the senders sit on N distinct nodes.  Off by
+  /// default: symmetric workloads bottleneck identically at either end, so
+  /// the paper-figure sweeps are unchanged unless a scenario opts in.
+  double nic_eject_rate = 12.5e9;
+  bool use_ejection_cap = false;  ///< model receiver-side endpoint congestion
+
   /// \return Lassen-like defaults (see file comment).
   static CostParams lassen();
   /// \return a flat model where every tier costs the same (for ablation:
@@ -84,6 +93,13 @@ class CostModel {
   double nic_occupancy(std::size_t bytes) const {
     return p_.use_injection_cap ? static_cast<double>(bytes) / p_.nic_rate
                                 : 0.0;
+  }
+
+  /// Time the message occupies the *receiving* node's NIC (network tier
+  /// only).  Zero unless endpoint congestion is enabled.
+  double eject_occupancy(std::size_t bytes) const {
+    return p_.use_ejection_cap ? static_cast<double>(bytes) / p_.nic_eject_rate
+                               : 0.0;
   }
 
   double send_overhead() const { return p_.send_overhead; }

@@ -30,6 +30,7 @@ Engine::Engine(Machine machine, CostParams params, Options opts)
       threads_(util::resolve_threads(opts.threads, {"COLLOM_SIM_THREADS"})),
       clocks_(machine_.num_ranks(), 0.0),
       nic_free_(machine_.num_nodes(), 0.0),
+      eject_free_(machine_.num_nodes(), 0.0),
       stats_(machine_.num_ranks()),
       rank_(machine_.num_ranks()) {
   auto world = std::make_shared<CommData>();
@@ -284,8 +285,10 @@ void Engine::commit_phase() {
     rs.nic_reset_request = false;
   }
   if (newly > 0) {
-    if (sync_arrivals_ == 0)
+    if (sync_arrivals_ == 0) {
       std::fill(nic_free_.begin(), nic_free_.end(), 0.0);
+      std::fill(eject_free_.begin(), eject_free_.end(), 0.0);
+    }
     sync_arrivals_ += newly;
     if (sync_arrivals_ == nranks) sync_arrivals_ = 0;
   }
@@ -314,6 +317,21 @@ void Engine::deliver(const PendingSend& ps) {
     arrival = inject + model_.transfer_time(ps.loc, bytes);
   } else {
     arrival = ps.depart + model_.transfer_time(ps.loc, bytes);
+  }
+
+  // Receiver-side endpoint congestion: network payloads drain through the
+  // destination node's NIC at nic_eject_rate, store-and-forward, so N-to-1
+  // incast queues at the receiver.  Zero-byte messages pass through for the
+  // same reason they skip injection occupancy above.  The queue arithmetic
+  // runs only here, in the single-threaded commit step, in (rank, program)
+  // order — width-independent like the injection queue.
+  if (ps.loc == Locality::network && bytes > 0 &&
+      model_.params().use_ejection_cap) {
+    const int dnode = machine_.node_of(ps.key.dst);
+    const double done =
+        std::max(arrival, eject_free_[dnode]) + model_.eject_occupancy(bytes);
+    eject_free_[dnode] = done;
+    arrival = done;
   }
 
   RankState& dst = rank_[ps.key.dst];

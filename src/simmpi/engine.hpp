@@ -94,6 +94,9 @@ class Engine {
   };
   struct RankStats {
     TierStats tier[kNumLocalities];
+    /// Simulated local computation charged via Context::compute (overlap
+    /// windows etc.), seconds.  Cleared with the message stats.
+    double compute_seconds = 0.0;
     std::uint64_t total_msgs() const {
       std::uint64_t n = 0;
       for (const auto& t : tier) n += t.msgs;
@@ -163,6 +166,15 @@ class Engine {
   std::shared_ptr<const CommData> world_data() const { return world_data_; }
 
   double& clock_ref(int rank) { return clocks_[rank]; }
+
+  /// Charge `seconds` of simulated local computation to `rank`: advances
+  /// its virtual clock and accumulates RankStats::compute_seconds.  Purely
+  /// per-rank state, so calls from concurrently executing rank coroutines
+  /// are race-free and the schedule stays width-independent.
+  void add_compute(int rank, double seconds) {
+    clocks_[rank] += seconds;
+    stats_[rank].compute_seconds += seconds;
+  }
 
   /// Aggregate payload-arena statistics over all ranks (allocation-
   /// regression tests and the engine micro benchmarks read these; steady
@@ -268,6 +280,9 @@ class Engine {
 
   std::vector<double> clocks_;
   std::vector<double> nic_free_;  // per node: time the NIC becomes free
+  // Per node: time the receive side of the NIC becomes free (endpoint
+  // congestion; only charged when CostParams::use_ejection_cap is set).
+  std::vector<double> eject_free_;
   std::vector<RankStats> stats_;
   std::vector<RankState> rank_;
 
@@ -291,7 +306,7 @@ class Engine {
 
 inline double Context::now() const { return eng_->clock(rank_); }
 inline void Context::compute(double seconds) {
-  eng_->clock_ref(rank_) += seconds;
+  eng_->add_compute(rank_, seconds);
 }
 
 /// Awaiter for completing a single request.

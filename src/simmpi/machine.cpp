@@ -1,11 +1,39 @@
 #include "simmpi/machine.hpp"
 
+#include <climits>
+#include <string>
+
 namespace simmpi {
 
-Machine::Machine(MachineConfig cfg) : cfg_(cfg), num_ranks_(cfg.num_ranks()) {
-  if (cfg.num_nodes < 1 || cfg.regions_per_node < 1 || cfg.ranks_per_region < 1)
-    throw SimError("MachineConfig: all dimensions must be >= 1");
+namespace {
+
+/// Validate before any member uses the config: num_ranks_ is computed in
+/// the constructor's init list, so the `int` product must be proven safe
+/// here — a zero dimension would otherwise yield a 0-rank machine and
+/// div-by-zero in ranks_per_node() callers, and a huge one silent overflow.
+MachineConfig validated(MachineConfig cfg) {
+  auto require_positive = [](int v, const char* name) {
+    if (v < 1)
+      throw SimError("MachineConfig: " + std::string(name) + " must be >= 1 (got " +
+                     std::to_string(v) + ")");
+  };
+  require_positive(cfg.num_nodes, "num_nodes");
+  require_positive(cfg.regions_per_node, "regions_per_node");
+  require_positive(cfg.ranks_per_region, "ranks_per_region");
+  const long long ranks = static_cast<long long>(cfg.num_nodes) *
+                          cfg.regions_per_node * cfg.ranks_per_region;
+  if (ranks > INT_MAX)
+    throw SimError("MachineConfig: " + std::to_string(cfg.num_nodes) + " x " +
+                   std::to_string(cfg.regions_per_node) + " x " +
+                   std::to_string(cfg.ranks_per_region) + " = " +
+                   std::to_string(ranks) + " ranks overflows int");
+  return cfg;
 }
+
+}  // namespace
+
+Machine::Machine(MachineConfig cfg)
+    : cfg_(validated(cfg)), num_ranks_(cfg_.num_ranks()) {}
 
 Machine Machine::with_region_size(int nranks, int ranks_per_region) {
   if (nranks < 1 || ranks_per_region < 1)

@@ -59,6 +59,23 @@ TEST(CostModel, NicOccupancyOnlyWithInjectionCap) {
   EXPECT_EQ(CostModel(p).nic_occupancy(1 << 20), 0.0);
 }
 
+TEST(CostModel, EjectOccupancyOnlyWithEjectionCap) {
+  // Off by default: a symmetric workload bottlenecks identically at either
+  // end, so enabling it everywhere would only rescale the paper sweeps.
+  CostParams p = CostParams::lassen();
+  EXPECT_FALSE(p.use_ejection_cap);
+  EXPECT_EQ(CostModel(p).eject_occupancy(1 << 20), 0.0);
+  p.use_ejection_cap = true;
+  CostModel m(p);
+  EXPECT_GT(m.eject_occupancy(1 << 20), 0.0);
+  EXPECT_DOUBLE_EQ(m.eject_occupancy(1 << 20),
+                   static_cast<double>(1 << 20) / p.nic_eject_rate);
+  // A slower receive side drains slower.
+  p.nic_eject_rate /= 4;
+  EXPECT_DOUBLE_EQ(CostModel(p).eject_occupancy(1 << 20),
+                   4 * m.eject_occupancy(1 << 20));
+}
+
 TEST(CostModel, RecvOverheadGrowsWithQueueDepth) {
   CostModel m(CostParams::lassen());
   EXPECT_LT(m.recv_overhead(0), m.recv_overhead(10));

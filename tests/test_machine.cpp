@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "simmpi/machine.hpp"
 
 using simmpi::Locality;
@@ -71,6 +73,43 @@ TEST(Machine, RejectsBadConfig) {
                         .ranks_per_region = 1}),
                simmpi::SimError);
   EXPECT_THROW(Machine({.num_nodes = 1, .regions_per_node = -1,
+                        .ranks_per_region = 1}),
+               simmpi::SimError);
+}
+
+TEST(Machine, RejectionNamesTheOffendingField) {
+  // Every dimension is validated independently, and the message names the
+  // field and echoes the value so a miswired caller can be diagnosed from
+  // the exception alone.
+  auto message_of = [](MachineConfig cfg) -> std::string {
+    try {
+      Machine m(cfg);
+    } catch (const simmpi::SimError& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(message_of({.num_nodes = 0, .regions_per_node = 2,
+                        .ranks_per_region = 2})
+                .find("num_nodes"),
+            std::string::npos);
+  EXPECT_NE(message_of({.num_nodes = 2, .regions_per_node = 0,
+                        .ranks_per_region = 2})
+                .find("regions_per_node"),
+            std::string::npos);
+  EXPECT_NE(message_of({.num_nodes = 2, .regions_per_node = 2,
+                        .ranks_per_region = -3})
+                .find("-3"),
+            std::string::npos);
+}
+
+TEST(Machine, RejectsRankCountOverflow) {
+  // 1e6 nodes x 1e5 regions x 16 ranks would overflow the int rank count;
+  // validation must catch it before MachineConfig::num_ranks() multiplies.
+  EXPECT_THROW(Machine({.num_nodes = 1000000, .regions_per_node = 100000,
+                        .ranks_per_region = 16}),
+               simmpi::SimError);
+  EXPECT_THROW(Machine({.num_nodes = 2000000000, .regions_per_node = 2,
                         .ranks_per_region = 1}),
                simmpi::SimError);
 }
