@@ -20,6 +20,10 @@
 ///  * `--build-threads=N` / `COLLOM_BUILD_THREADS=N` sets the hierarchy
 ///    *construction* width (defaults from COLLOM_SIM_THREADS; built
 ///    hierarchies are bit-identical for every width);
+///  * `--link-taper=T` / `COLLOM_LINK_TAPER=T` restricts the link-
+///    contention benches (bench_link_taper) to the one taper ratio T
+///    instead of their full {1, 2, 4} sweep (this one changes *which*
+///    points are computed, not their values);
 ///  * the hierarchy disk cache (`COLLOM_HIER_CACHE[_DIR]`, plus the
 ///    `COLLOM_HIER_CACHE_MAX_BYTES` size cap — see harness::
 ///    HierarchyCache) lets the binaries share built hierarchies under
@@ -58,6 +62,10 @@ inline void init(int* argc, char** argv) {
       ::setenv("COLLOM_BUILD_THREADS", arg + 16, 1);
       continue;
     }
+    if (std::strncmp(arg, "--link-taper=", 13) == 0) {
+      ::setenv("COLLOM_LINK_TAPER", arg + 13, 1);
+      continue;
+    }
     argv[out++] = argv[i];
   }
   *argc = out;
@@ -83,6 +91,17 @@ inline bool quick_mode() {
 
 /// Rank count of the fixed-size (non-sweeping) figures.
 inline int paper_ranks() { return quick_mode() ? kQuickMaxRanks : kPaperRanks; }
+
+/// Taper restriction of the link-contention benches: `--link-taper=T` /
+/// COLLOM_LINK_TAPER=T computes only the one ratio T; 0 (the default)
+/// keeps the full sweep.
+inline double link_taper_override() {
+  static const double t = [] {
+    const char* v = std::getenv("COLLOM_LINK_TAPER");
+    return v != nullptr ? std::atof(v) : 0.0;
+  }();
+  return t;
+}
 
 /// Problem size of the fixed-size figures (weak-scaling-consistent in
 /// quick mode, the paper's 524288 rows otherwise).

@@ -185,6 +185,11 @@ std::uint64_t cache_key(std::uint64_t pattern_key, mpix::Method method,
   h = fnv_mix(h, static_cast<std::uint64_t>(machine.ranks_per_region()));
   h = fnv_mix(h, static_cast<std::uint64_t>(machine.ranks_per_node()));
   h = fnv_mix(h, static_cast<std::uint64_t>(comm.size()));
+  // Switch-hierarchy radixes (not tapers: those never change a plan), so
+  // plans built on different tree shapes get distinct keys.
+  h = fnv_mix(h, static_cast<std::uint64_t>(machine.num_switch_levels()));
+  for (const simmpi::SwitchLevel& lvl : machine.config().switch_levels)
+    h = fnv_mix(h, static_cast<std::uint64_t>(lvl.radix));
   return h;
 }
 

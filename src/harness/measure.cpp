@@ -21,8 +21,13 @@ namespace {
 double x_value(long g) { return 0.5 * static_cast<double>(g) + 1.0; }
 
 Machine machine_for(int nranks, const MeasureConfig& cfg) {
-  if (cfg.regions_per_node <= 1)
-    return Machine::with_region_size(nranks, cfg.ranks_per_region);
+  if (cfg.regions_per_node <= 1) {
+    Machine m = Machine::with_region_size(nranks, cfg.ranks_per_region);
+    if (cfg.switch_levels.empty()) return m;
+    simmpi::MachineConfig mc = m.config();
+    mc.switch_levels = cfg.switch_levels;
+    return Machine(mc);
+  }
   const int per_node = cfg.regions_per_node * cfg.ranks_per_region;
   if (nranks % per_node != 0)
     throw simmpi::SimError(
@@ -31,7 +36,8 @@ Machine machine_for(int nranks, const MeasureConfig& cfg) {
         std::to_string(nranks) + " % " + std::to_string(per_node) + " != 0)");
   return Machine({.num_nodes = nranks / per_node,
                   .regions_per_node = cfg.regions_per_node,
-                  .ranks_per_region = cfg.ranks_per_region});
+                  .ranks_per_region = cfg.ranks_per_region,
+                  .switch_levels = cfg.switch_levels});
 }
 
 Engine::Options engine_opts(const MeasureConfig& cfg) {
@@ -49,6 +55,18 @@ std::uint64_t dense_mix(std::uint64_t h, std::uint64_t v) {
   return (h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2)));
 }
 
+/// Mix the switch-hierarchy *radixes* into a plan-cache key.  Tapers are
+/// deliberately excluded — they only scale link costs, never the plan —
+/// so a taper sweep re-binds cached plans instead of rebuilding them;
+/// cross-shape reuse is additionally rejected by the plan's own binding
+/// fingerprint.
+std::uint64_t mix_switch_shape(std::uint64_t h, const MeasureConfig& cfg) {
+  h = dense_mix(h, static_cast<std::uint64_t>(cfg.switch_levels.size()));
+  for (const simmpi::SwitchLevel& lvl : cfg.switch_levels)
+    h = dense_mix(h, static_cast<std::uint64_t>(lvl.radix));
+  return h;
+}
+
 /// Plan-cache key of a uniform dense pattern.  Plans are independent of
 /// the element size (all offsets are in values), so it is excluded; the
 /// machine shape and method are what binding validates against.
@@ -61,6 +79,7 @@ std::uint64_t dense_cache_key(int nranks, int count,
   h = dense_mix(h, static_cast<std::uint64_t>(method));
   h = dense_mix(h, static_cast<std::uint64_t>(cfg.ranks_per_region));
   h = dense_mix(h, cfg.lpt_balance ? 1 : 0);
+  h = mix_switch_shape(h, cfg);
   return h;
 }
 
@@ -78,6 +97,7 @@ std::uint64_t pattern_cache_key(const patterns::Workload& wl,
   h = dense_mix(h, static_cast<std::uint64_t>(cfg.ranks_per_region));
   h = dense_mix(h, static_cast<std::uint64_t>(cfg.regions_per_node));
   h = dense_mix(h, cfg.lpt_balance ? 1 : 0);
+  h = mix_switch_shape(h, cfg);
   return h;
 }
 
@@ -96,6 +116,7 @@ PatternMeasurement run_pattern(const patterns::Workload& wl,
   std::vector<double> init_elapsed(p, 0.0), block_elapsed(p, 0.0),
       overlap_elapsed(p, 0.0);
   std::vector<mpix::NeighborStats> stats(p);
+  std::vector<std::vector<Engine::LinkStats>> link_stats(p);
 
   eng.run([&](Context& ctx) -> Task<> {
     const int r = ctx.rank();
@@ -135,6 +156,19 @@ PatternMeasurement run_pattern(const patterns::Workload& wl,
     ctx.compute(wl.overlap_seconds);
     block_elapsed[r] = ctx.now();
     check("blocking");
+    // Blocking-window link footprint: the barrier guarantees this rank's
+    // journaled sends are committed (and their link charges recorded)
+    // before the next sync_reset clears the stats.  The window's elapsed
+    // time was captured above, but the extra barrier still shifts phase
+    // alignment entering the *next* window (and with it the NIC delivery
+    // interleaving), so it runs only when the link cap — and therefore a
+    // link footprint worth capturing — is on: cap-off runs keep the
+    // pre-contention program, and their series, bit for bit.
+    if (cfg.cost.use_link_cap) {
+      co_await simmpi::coll::barrier(ctx, ctx.world());
+      const auto& rs = ctx.engine().stats(r);
+      link_stats[r].assign(rs.link.begin(), rs.link.end());
+    }
     patterns::clear_recv(buf);
 
     // Overlapped window: the same compute is charged between start and
@@ -167,6 +201,20 @@ PatternMeasurement run_pattern(const patterns::Workload& wl,
     out.max_global_msg_values =
         std::max(out.max_global_msg_values, s.max_global_msg_values);
   }
+  const auto tiers =
+      static_cast<std::size_t>(eng.machine().num_link_tiers());
+  out.link_seconds.assign(tiers, 0.0);
+  out.max_link_backlog_seconds.assign(tiers, 0.0);
+  out.sum_link_msgs.assign(tiers, 0);
+  for (const auto& ls : link_stats)
+    for (std::size_t t = 0; t < ls.size(); ++t) {
+      out.link_seconds[t] += ls[t].busy_seconds;
+      out.max_link_backlog_seconds[t] =
+          std::max(out.max_link_backlog_seconds[t], ls[t].max_backlog_seconds);
+    }
+  for (const auto& s : stats)
+    for (std::size_t t = 0; t < s.link_msgs.size(); ++t)
+      out.sum_link_msgs[t] += s.link_msgs[t];
   return out;
 }
 

@@ -47,6 +47,11 @@ struct MeasureConfig {
   /// partially filled region; >1 requires nranks to be a multiple of
   /// regions_per_node * ranks_per_region.
   int regions_per_node = 1;
+  /// Switch hierarchy of the simulated machine (fat-tree core),
+  /// bottom-up; see simmpi::MachineConfig::switch_levels.  Empty (the
+  /// default) keeps the flat core.  Pair with `cost.use_link_cap` to
+  /// charge shared up/down links; the shape alone changes nothing.
+  std::vector<simmpi::SwitchLevel> switch_levels;
   simmpi::CostParams cost = simmpi::CostParams::lassen();
   /// Scheduler width of the simulation engine (simmpi::Engine::Options
   /// ::threads: 0 = auto via COLLOM_SIM_THREADS / hardware concurrency).
@@ -119,6 +124,16 @@ struct PatternMeasurement {
   long sum_global_values = 0;
   long max_global_msgs = 0;          ///< max per rank
   long max_global_msg_values = 0;    ///< largest single network message
+  /// Shared-link contention of the blocking window, one entry per link
+  /// tier (empty on flat machines): occupancy summed over all ranks, and
+  /// the worst per-rank queue backlog.  All zeros while
+  /// `MeasureConfig::cost.use_link_cap` is off.
+  std::vector<double> link_seconds;
+  std::vector<double> max_link_backlog_seconds;
+  /// Network messages crossing each link tier — a static property of the
+  /// method's plan (mpix::NeighborStats::link_msgs summed over ranks),
+  /// counted whether or not the link cap charges for them.
+  std::vector<long> sum_link_msgs;
 };
 
 /// Run one generated workload through a sparse neighbor method

@@ -438,6 +438,10 @@ Task<std::shared_ptr<const BruckPlan>> impl::build_bruck_plan(
       plan->stats.max_global_msg_values =
           std::max(plan->stats.max_global_msg_values,
                    static_cast<long>(round.send_values));
+      detail::count_link_crossing(machine, comm.global(comm.rank()),
+                                  comm.global(round.send_peer),
+                                  static_cast<long>(round.send_values),
+                                  plan->stats);
       plan->rounds.push_back(std::move(round));
     }
   }

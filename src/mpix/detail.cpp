@@ -106,11 +106,32 @@ std::uint64_t binding_fingerprint(const simmpi::Comm& comm,
   h = fnv_mix(h, static_cast<std::uint64_t>(comm.size()));
   h = fnv_mix(h, static_cast<std::uint64_t>(machine.ranks_per_region()));
   h = fnv_mix(h, static_cast<std::uint64_t>(machine.num_ranks()));
+  // The switch-hierarchy shape, not its tapers: tapers only scale link
+  // costs, never routing or the per-tier crossing counts baked into a
+  // plan, so plans stay reusable across a taper sweep.
+  h = fnv_mix(h, static_cast<std::uint64_t>(machine.num_switch_levels()));
+  for (const simmpi::SwitchLevel& lvl : machine.config().switch_levels)
+    h = fnv_mix(h, static_cast<std::uint64_t>(lvl.radix));
   for (int m : comm.members()) {
     h = fnv_mix(h, static_cast<std::uint64_t>(m));
     h = fnv_mix(h, static_cast<std::uint64_t>(machine.region_of(m)));
   }
   return h;
+}
+
+void count_link_crossing(const simmpi::Machine& machine, int gsrc, int gdst,
+                         long values, NeighborStats& stats) {
+  const int lca = machine.lca_level(gsrc, gdst);
+  if (lca <= 0) return;
+  if (stats.link_msgs.empty()) {
+    const auto tiers = static_cast<std::size_t>(machine.num_link_tiers());
+    stats.link_msgs.assign(tiers, 0);
+    stats.link_values.assign(tiers, 0);
+  }
+  for (int t = 0; t < lca; ++t) {
+    ++stats.link_msgs[static_cast<std::size_t>(t)];
+    stats.link_values[static_cast<std::size_t>(t)] += values;
+  }
 }
 
 void validate_plan_args(const LocalityPlan& plan,

@@ -31,9 +31,19 @@ void reject_duplicate_edges(const simmpi::DistGraph& graph);
 
 /// Fingerprint of a communicator's membership and the machine's region
 /// layout over it — what a LocalityPlan's comm-local peer ranks are only
-/// valid against (see LocalityPlan::binding_fingerprint).
+/// valid against (see LocalityPlan::binding_fingerprint).  Mixes the
+/// switch-hierarchy radixes (not the tapers, which only scale costs), so
+/// a plan's per-tier link counters cannot be reused on a different tree
+/// shape but survive a taper sweep.
 std::uint64_t binding_fingerprint(const simmpi::Comm& comm,
                                   const simmpi::Machine& machine);
+
+/// Accumulate `stats.link_msgs` / `link_values` for one network message
+/// from global rank `gsrc` to `gdst`: one count per link tier the pair's
+/// LCA path crosses.  No-op on flat machines and for pairs under one leaf
+/// switch (including same-node pairs), mirroring what the engine charges.
+void count_link_crossing(const simmpi::Machine& machine, int gsrc, int gdst,
+                         long values, NeighborStats& stats);
 
 /// Validate that `args` carries the exact pattern `plan` was built for
 /// (adjacency, counts, displacements, and — for dedup plans — the index

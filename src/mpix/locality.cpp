@@ -359,6 +359,9 @@ Task<std::shared_ptr<const LocalityPlan>> impl::build_locality_plan(
     plan->stats.global_values += total;
     plan->stats.max_global_msg_values =
         std::max(plan->stats.max_global_msg_values, total);
+    detail::count_link_crossing(machine, comm.global(me),
+                                comm.global(*g_dst_leader.find(q)), total,
+                                plan->stats);
   }
   for (int rr : my_in_rs)
     plan->g_recvs.push_back({*g_src_leader.find(rr), *g_block_off.find(rr),

@@ -153,6 +153,14 @@ struct NeighborStats {
   long local_values = 0;
   long global_values = 0;
   long max_global_msg_values = 0;
+  /// Per switch-link tier (tier 0 = leaf up/down links; see
+  /// simmpi::Machine::num_link_tiers): network messages / values this
+  /// rank sends whose destination subtree first joins its own *above*
+  /// that tier, i.e. the static crossing counts of the plan.  Sized
+  /// lazily by the first counted crossing, so both stay empty on flat
+  /// machines and for ranks whose traffic never leaves the leaf subtree.
+  std::vector<long> link_msgs = {};
+  std::vector<long> link_values = {};
 };
 
 /// Common polymorphic base of every reusable collective plan (the

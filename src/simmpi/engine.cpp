@@ -4,11 +4,40 @@
 #include <cstring>
 #include <exception>
 #include <sstream>
+#include <string>
 
 #include "simmpi/coll.hpp"
 #include "util/worker_pool.hpp"
 
 namespace simmpi {
+
+namespace {
+
+/// The link-cap parameters are only read when the cap is on, so they are
+/// only validated then — a default CostParams with stale link_rates must
+/// not fail construction of a flat-core engine.
+void validate_link_params(const CostParams& p, int tiers) {
+  if (!(p.link_rate > 0.0))
+    throw SimError("CostParams: link_rate must be > 0 (got " +
+                   std::to_string(p.link_rate) + ")");
+  if (!p.link_rates.empty()) {
+    if (static_cast<int>(p.link_rates.size()) != tiers)
+      throw SimError("CostParams: link_rates must carry one entry per link "
+                     "tier (" +
+                     std::to_string(tiers) + "), got " +
+                     std::to_string(p.link_rates.size()));
+    for (std::size_t i = 0; i < p.link_rates.size(); ++i)
+      if (!(p.link_rates[i] > 0.0))
+        throw SimError("CostParams: link_rates[" + std::to_string(i) +
+                       "] must be > 0 (got " +
+                       std::to_string(p.link_rates[i]) + ")");
+  }
+  if (!(p.link_msg_bytes >= 0.0))
+    throw SimError("CostParams: link_msg_bytes must be >= 0 (got " +
+                   std::to_string(p.link_msg_bytes) + ")");
+}
+
+}  // namespace
 
 Context::Context(Engine& eng, int rank)
     : eng_(&eng), rank_(rank), world_(&eng, eng.world_data(), rank) {}
@@ -38,6 +67,19 @@ Engine::Engine(Machine machine, CostParams params, Options opts)
   world->members.resize(machine_.num_ranks());
   for (int r = 0; r < machine_.num_ranks(); ++r) world->members[r] = r;
   world_data_ = std::move(world);
+
+  if (model_.params().use_link_cap) {
+    const int tiers = machine_.num_link_tiers();
+    validate_link_params(model_.params(), tiers);
+    link_tier_off_.assign(tiers + 1, 0);
+    for (int t = 0; t < tiers; ++t)
+      link_tier_off_[t + 1] = link_tier_off_[t] + machine_.switches_at(t);
+    link_up_free_.assign(link_tier_off_[tiers], 0.0);
+    link_down_free_.assign(link_tier_off_[tiers], 0.0);
+    link_rate_eff_.resize(tiers);
+    for (int t = 0; t < tiers; ++t)
+      link_rate_eff_[t] = model_.link_rate(t, machine_.level_taper(t));
+  }
 }
 
 void Engine::run(const RankProgram& program) {
@@ -288,6 +330,8 @@ void Engine::commit_phase() {
     if (sync_arrivals_ == 0) {
       std::fill(nic_free_.begin(), nic_free_.end(), 0.0);
       std::fill(eject_free_.begin(), eject_free_.end(), 0.0);
+      std::fill(link_up_free_.begin(), link_up_free_.end(), 0.0);
+      std::fill(link_down_free_.begin(), link_down_free_.end(), 0.0);
     }
     sync_arrivals_ += newly;
     if (sync_arrivals_ == nranks) sync_arrivals_ = 0;
@@ -317,6 +361,41 @@ void Engine::deliver(const PendingSend& ps) {
     arrival = inject + model_.transfer_time(ps.loc, bytes);
   } else {
     arrival = ps.depart + model_.transfer_time(ps.loc, bytes);
+  }
+
+  // Shared-link contention: the message store-and-forwards through every
+  // up/down link between its source and destination subtrees, each link a
+  // FIFO queue like the NICs.  lca == 0 means the pair meets at the leaf
+  // switch — the node<->leaf links are the NIC, charged above — so only
+  // deeper crossings pay; zero-byte messages pass for the same reason
+  // they skip the NIC queues.  The queue arithmetic runs only here, in
+  // the single-threaded commit step, in (rank, program) order:
+  // bit-identical for any Options::threads.
+  if (ps.loc == Locality::network && bytes > 0 &&
+      model_.params().use_link_cap) {
+    const int snode = machine_.node_of(ps.key.src);
+    const int dnode = machine_.node_of(ps.key.dst);
+    const int lca = machine_.node_lca_level(snode, dnode);
+    if (lca > 0) {
+      RankStats& st = stats_[ps.key.src];
+      if (st.link.empty())
+        st.link.resize(static_cast<std::size_t>(machine_.num_link_tiers()));
+      auto charge = [&](int tier, double& free_at) {
+        LinkStats& ls = st.link[static_cast<std::size_t>(tier)];
+        ls.max_backlog_seconds =
+            std::max(ls.max_backlog_seconds, free_at - arrival);
+        const double occ = model_.link_occupancy(bytes, link_rate_eff_[tier]);
+        ls.busy_seconds += occ;
+        arrival = std::max(arrival, free_at) + occ;
+        free_at = arrival;
+      };
+      for (int t = 0; t < lca; ++t)  // up the source subtree
+        charge(t, link_up_free_[link_tier_off_[t] +
+                                machine_.switch_of(snode, t)]);
+      for (int t = lca - 1; t >= 0; --t)  // down the destination subtree
+        charge(t, link_down_free_[link_tier_off_[t] +
+                                  machine_.switch_of(dnode, t)]);
+    }
   }
 
   // Receiver-side endpoint congestion: network payloads drain through the
@@ -367,8 +446,25 @@ std::uint64_t Engine::max_bytes(std::initializer_list<Locality> tiers) const {
   return best;
 }
 
+double Engine::total_link_seconds(int tier) const {
+  double sum = 0.0;
+  for (const auto& rs : stats_)
+    if (static_cast<std::size_t>(tier) < rs.link.size())
+      sum += rs.link[static_cast<std::size_t>(tier)].busy_seconds;
+  return sum;
+}
+
+double Engine::max_link_backlog_seconds(int tier) const {
+  double best = 0.0;
+  for (const auto& rs : stats_)
+    if (static_cast<std::size_t>(tier) < rs.link.size())
+      best = std::max(
+          best, rs.link[static_cast<std::size_t>(tier)].max_backlog_seconds);
+  return best;
+}
+
 void Engine::reset_stats() {
-  for (auto& s : stats_) s = RankStats{};
+  for (auto& s : stats_) s.clear();
 }
 
 Task<> Engine::sync_reset(Context& ctx, bool clear_stats) {
@@ -380,7 +476,7 @@ Task<> Engine::sync_reset(Context& ctx, bool clear_stats) {
   // commit_phase): leavers race-free even though they resume concurrently.
   rank_[ctx.rank()].nic_reset_request = true;
   clocks_[ctx.rank()] = 0.0;
-  if (clear_stats) stats_[ctx.rank()] = RankStats{};
+  if (clear_stats) stats_[ctx.rank()].clear();
 }
 
 void Engine::post_send(const Comm& comm, int src_local, int dst_local, int tag,

@@ -92,15 +92,38 @@ class Engine {
     std::uint64_t bytes = 0;
     bool operator==(const TierStats&) const = default;
   };
+  /// Shared-link contention charged to one rank's network sends at one
+  /// link tier (tier 0 = leaf-switch up/down links; see
+  /// Machine::num_link_tiers).  The whole LCA path of a message — up the
+  /// source subtree, down the destination subtree — is attributed to the
+  /// sender.
+  struct LinkStats {
+    double busy_seconds = 0.0;  ///< occupancy this rank's sends added
+    double max_backlog_seconds = 0.0;  ///< worst queue wait encountered
+    bool operator==(const LinkStats&) const = default;
+  };
   struct RankStats {
     TierStats tier[kNumLocalities];
     /// Simulated local computation charged via Context::compute (overlap
     /// windows etc.), seconds.  Cleared with the message stats.
     double compute_seconds = 0.0;
+    /// Per link tier; sized lazily to Machine::num_link_tiers() by the
+    /// first charged send, so it stays empty while
+    /// CostParams::use_link_cap is off or this rank never crossed a
+    /// switch boundary.
+    std::vector<LinkStats> link;
     std::uint64_t total_msgs() const {
       std::uint64_t n = 0;
       for (const auto& t : tier) n += t.msgs;
       return n;
+    }
+    /// Zero every counter in place.  Unlike assigning a fresh RankStats
+    /// this keeps `link`'s storage, so steady-state resets stay
+    /// allocation-free (the EngineAlloc suite's guarantee).
+    void clear() {
+      for (auto& t : tier) t = TierStats{};
+      compute_seconds = 0.0;
+      for (auto& l : link) l = LinkStats{};
     }
     bool operator==(const RankStats&) const = default;
   };
@@ -131,6 +154,11 @@ class Engine {
   std::uint64_t max_msgs(std::initializer_list<Locality> tiers) const;
   /// Max over ranks of bytes sent in the given tiers.
   std::uint64_t max_bytes(std::initializer_list<Locality> tiers) const;
+  /// Sum over ranks of shared-link occupancy charged at `tier` (0.0 when
+  /// the link cap is off or nothing crossed the tier).
+  double total_link_seconds(int tier) const;
+  /// Max over ranks of the worst link-queue backlog encountered at `tier`.
+  double max_link_backlog_seconds(int tier) const;
   void reset_stats();
 
   /// Collective clock reset: barrier-equivalent synchronization point after
@@ -283,6 +311,14 @@ class Engine {
   // Per node: time the receive side of the NIC becomes free (endpoint
   // congestion; only charged when CostParams::use_ejection_cap is set).
   std::vector<double> eject_free_;
+  // Shared switch up/down link queues (fat-tree core): one free-time per
+  // link, all tiers flattened with link_tier_off_ as the per-tier base.
+  // Sized only when CostParams::use_link_cap is on and the machine has
+  // link tiers; charged exclusively in the single-threaded commit step.
+  std::vector<double> link_up_free_;
+  std::vector<double> link_down_free_;
+  std::vector<int> link_tier_off_;
+  std::vector<double> link_rate_eff_;  // per tier: effective bytes/s
   std::vector<RankStats> stats_;
   std::vector<RankState> rank_;
 

@@ -2,6 +2,7 @@
 
 #include <climits>
 #include <string>
+#include <utility>
 
 namespace simmpi {
 
@@ -27,13 +28,50 @@ MachineConfig validated(MachineConfig cfg) {
                    std::to_string(cfg.regions_per_node) + " x " +
                    std::to_string(cfg.ranks_per_region) + " = " +
                    std::to_string(ranks) + " ranks overflows int");
+
+  // Switch hierarchy: radixes must cascade evenly from the node count and
+  // close the tree at a single root, or switch_of()/node_lca_level()
+  // would map nodes to fractional subtrees.
+  int below = cfg.num_nodes;
+  for (std::size_t i = 0; i < cfg.switch_levels.size(); ++i) {
+    const SwitchLevel& lvl = cfg.switch_levels[i];
+    const std::string name = "switch_levels[" + std::to_string(i) + "]";
+    if (lvl.radix < 1)
+      throw SimError("MachineConfig: " + name + ".radix must be >= 1 (got " +
+                     std::to_string(lvl.radix) + ")");
+    if (!(lvl.taper > 0.0))
+      throw SimError("MachineConfig: " + name + ".taper must be > 0 (got " +
+                     std::to_string(lvl.taper) + ")");
+    if (below % lvl.radix != 0)
+      throw SimError("MachineConfig: " + name + ".radix (" +
+                     std::to_string(lvl.radix) + ") must divide the " +
+                     std::to_string(below) +
+                     (i == 0 ? " nodes" : " level-" + std::to_string(i - 1) +
+                                              " switches") +
+                     " below it");
+    below /= lvl.radix;
+  }
+  if (!cfg.switch_levels.empty() && below != 1)
+    throw SimError(
+        "MachineConfig: switch_levels must close the tree at one root "
+        "switch (top level leaves " +
+        std::to_string(below) + ")");
   return cfg;
 }
 
 }  // namespace
 
 Machine::Machine(MachineConfig cfg)
-    : cfg_(validated(cfg)), num_ranks_(cfg_.num_ranks()) {}
+    : cfg_(validated(std::move(cfg))), num_ranks_(cfg_.num_ranks()) {
+  int per = 1;
+  int count = cfg_.num_nodes;
+  for (const SwitchLevel& lvl : cfg_.switch_levels) {
+    per *= lvl.radix;
+    count /= lvl.radix;
+    nodes_per_switch_.push_back(per);
+    switches_at_.push_back(count);
+  }
+}
 
 Machine Machine::with_region_size(int nranks, int ranks_per_region) {
   if (nranks < 1 || ranks_per_region < 1)
@@ -55,6 +93,16 @@ Locality Machine::classify(int a, int b) const {
   if (region_of(a) == region_of(b)) return Locality::region;
   if (node_of(a) == node_of(b)) return Locality::node;
   return Locality::network;
+}
+
+int Machine::node_lca_level(int node_a, int node_b) const {
+  if (node_a == node_b) return -1;
+  const int lv = num_switch_levels();
+  for (int l = 0; l < lv; ++l)
+    if (switch_of(node_a, l) == switch_of(node_b, l)) return l;
+  // Only reachable with no hierarchy configured (the validated tree
+  // always closes at one root switch): the flat core joins everything.
+  return 0;
 }
 
 }  // namespace simmpi

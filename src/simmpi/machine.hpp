@@ -8,15 +8,39 @@
 /// the block rank placement used by the paper (16 consecutive ranks share a
 /// CPU on Lassen).
 
+#include <vector>
+
 #include "simmpi/types.hpp"
 
 namespace simmpi {
+
+/// One level of the switch hierarchy, bottom-up (element i of
+/// MachineConfig::switch_levels).  `radix` children — nodes for level 0,
+/// level-(i-1) switches above — hang off each switch of the level.
+/// `taper` divides CostParams::link_rate for the level's *up-links* (the
+/// links toward the level above): a 2:1-tapered fat tree sets taper = 2.
+/// The top level has no up-links, so its taper is ignored.
+struct SwitchLevel {
+  int radix = 2;
+  double taper = 1.0;
+};
 
 /// Shape of the simulated machine.
 struct MachineConfig {
   int num_nodes = 1;        ///< number of nodes
   int regions_per_node = 1; ///< NUMA regions (CPU sockets) per node
   int ranks_per_region = 16;///< MPI ranks placed in each region
+
+  /// Switch hierarchy above the nodes (fat-tree core), bottom-up:
+  /// node -> switch_levels[0] (leaf) -> ... -> switch_levels.back()
+  /// (root).  Radixes must cascade evenly (level 0 divides num_nodes,
+  /// each level the switch count below it) and close the tree at exactly
+  /// one root switch.  Empty (the default) keeps the flat all-to-all core
+  /// of the earlier model: every pair of nodes is equidistant and no
+  /// shared link exists to contend on.  (The explicit `= {}` keeps
+  /// -Wmissing-field-initializers quiet at the many designated-init
+  /// construction sites that predate this field.)
+  std::vector<SwitchLevel> switch_levels = {};
 
   /// Ranks in the whole machine.
   int num_ranks() const {
@@ -58,9 +82,46 @@ class Machine {
   /// Classify the locality tier of a message from `a` to `b`.
   Locality classify(int a, int b) const;
 
+  // --- switch hierarchy (empty on flat machines) ---------------------
+
+  /// Levels of the switch hierarchy (0 = flat core).
+  int num_switch_levels() const {
+    return static_cast<int>(cfg_.switch_levels.size());
+  }
+  /// Shared up/down link tiers: tier i connects level-i switches to their
+  /// level-(i+1) parents.  The node<->leaf-switch links are *not* a tier —
+  /// they are the NIC, modeled by the injection/ejection caps.
+  int num_link_tiers() const {
+    const int lv = num_switch_levels();
+    return lv > 0 ? lv - 1 : 0;
+  }
+  /// Switches at `level` (level < num_switch_levels()).
+  int switches_at(int level) const { return switches_at_[level]; }
+  /// Switch of `node` at `level` (the subtree path entry).
+  int switch_of(int node, int level) const {
+    return node / nodes_per_switch_[level];
+  }
+  /// Up-link taper of `level` (see SwitchLevel::taper).
+  double level_taper(int level) const {
+    return cfg_.switch_levels[level].taper;
+  }
+
+  /// Lowest switch level where the subtrees of two nodes join: -1 for the
+  /// same node, 0 for distinct nodes under one leaf switch (also the flat
+  /// answer when no hierarchy is configured), k for a pair whose path
+  /// crosses the up/down links of tiers 0..k-1.  Never exceeds
+  /// num_switch_levels()-1: the tree closes at a single root.
+  int node_lca_level(int node_a, int node_b) const;
+  /// node_lca_level of two ranks' nodes.
+  int lca_level(int a, int b) const {
+    return node_lca_level(node_of(a), node_of(b));
+  }
+
  private:
   MachineConfig cfg_;
   int num_ranks_;
+  std::vector<int> switches_at_;      ///< per level: switch count
+  std::vector<int> nodes_per_switch_; ///< per level: subtree width in nodes
 };
 
 }  // namespace simmpi

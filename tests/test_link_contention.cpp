@@ -1,0 +1,247 @@
+/// \file test_link_contention.cpp
+/// \brief Shared-link (fat-tree) contention model, pinned by closed forms.
+///
+/// With every other cost term zeroed, the store-and-forward link queues
+/// have an exact analytical solution: K equal messages funneling through
+/// one up/down link pair arrive at (K+1) * u, where u = bytes * taper /
+/// link_rate is the per-link occupancy.  The tests assert that solution
+/// bit-exactly (including the taper-2-vs-taper-1 ratio of exactly 2.0 —
+/// power-of-two rate scaling is FP-exact), that traffic below a link's
+/// LCA never touches it, and that the whole subsystem is inert while
+/// `CostParams::use_link_cap` is off: every registry pattern's clocks on
+/// a tree-shaped machine match the flat machine bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "harness/measure.hpp"
+#include "patterns/pattern.hpp"
+#include "simmpi/engine.hpp"
+
+using namespace simmpi;
+
+namespace {
+
+/// All host and endpoint costs zeroed: the shared links are the only
+/// resource that advances any clock.
+CostParams network_only(double link_rate, double link_msg_bytes = 0.0) {
+  CostParams p = CostParams::flat(0.0, 0.0);
+  p.send_overhead = 0.0;
+  p.recv_overhead = 0.0;
+  p.queue_search = 0.0;
+  p.use_injection_cap = false;
+  p.use_link_cap = true;
+  p.link_rate = link_rate;
+  p.link_msg_bytes = link_msg_bytes;
+  return p;
+}
+
+/// 2-node machine whose per-node leaf switches (radix 1) meet at one root:
+/// exactly one shared up/down link tier, tapered.
+Machine two_node_tree(double taper) {
+  return Machine({.num_nodes = 2, .regions_per_node = 1,
+                  .ranks_per_region = 4,
+                  .switch_levels = {{.radix = 1, .taper = taper},
+                                    {.radix = 2, .taper = 1.0}}});
+}
+
+struct IncastResult {
+  double sink_clock = 0.0;         ///< last arrival at the receiving rank
+  double total_link_seconds = 0.0; ///< tier-0 occupancy summed over ranks
+};
+
+/// Ranks 0..3 (node 0) each send one `int` to rank 4 (node 1); all other
+/// costs are zero, so the sink's clock is exactly the last link arrival.
+IncastResult run_incast(double taper, double link_rate) {
+  Engine eng(two_node_tree(taper), network_only(link_rate));
+  eng.run([&](Context& ctx) -> Task<> {
+    const int r = ctx.rank();
+    if (r < 4) {
+      int v = r;
+      auto s = Request::send(
+          ctx.world(), std::as_bytes(std::span<const int>(&v, 1)), 4, 0);
+      s.start(ctx);
+      co_await ctx.wait(s);
+    } else if (r == 4) {
+      for (int src = 0; src < 4; ++src) {
+        int v = -1;
+        auto rq = Request::recv(
+            ctx.world(), std::as_writable_bytes(std::span<int>(&v, 1)), src,
+            0);
+        rq.start(ctx);
+        co_await ctx.wait(rq);
+        EXPECT_EQ(v, src);
+      }
+    }
+  });
+  return {eng.clock(4), eng.total_link_seconds(0)};
+}
+
+}  // namespace
+
+// With u = bytes * taper / link_rate, message k (delivered in rank order)
+// leaves the up-link at (k+1)u and the down-link at (k+2)u; the last of
+// K = 4 messages therefore arrives at (K+1)u.  Integer-valued u makes the
+// arithmetic FP-exact, so the comparison is ==, not near.
+TEST(LinkContention, IncastMatchesClosedForm) {
+  const double u = 4.0;  // 4 bytes at rate 1, taper 1
+  const IncastResult r = run_incast(1.0, 1.0);
+  EXPECT_EQ(r.sink_clock, 5.0 * u);
+  // Each message occupies the up-link and the down-link for u apiece.
+  EXPECT_EQ(r.total_link_seconds, 8.0 * u);
+}
+
+// A 2:1 taper halves the link rate, so the same incast completes exactly
+// 2x slower — bit-exactly, because dividing the rate by a power of two
+// scales every occupancy without rounding.
+TEST(LinkContention, TaperTwoIsExactlyTwiceSlower) {
+  const IncastResult full = run_incast(1.0, 1.0);
+  const IncastResult tapered = run_incast(2.0, 1.0);
+  EXPECT_EQ(tapered.sink_clock, 2.0 * full.sink_clock);
+  EXPECT_EQ(tapered.total_link_seconds, 2.0 * full.total_link_seconds);
+}
+
+// Framing: link_msg_bytes adds to every message's occupancy, so the
+// closed form shifts by the same recurrence with u' = (bytes + framing) *
+// taper / rate.  This is the term that penalizes many-small-messages.
+TEST(LinkContention, FramingChargesPerMessage) {
+  Engine eng(two_node_tree(1.0), network_only(1.0, /*link_msg_bytes=*/12.0));
+  eng.run([&](Context& ctx) -> Task<> {
+    if (ctx.rank() == 0) {
+      int v = 7;
+      auto s = Request::send(
+          ctx.world(), std::as_bytes(std::span<const int>(&v, 1)), 4, 0);
+      s.start(ctx);
+      co_await ctx.wait(s);
+    } else if (ctx.rank() == 4) {
+      int v = 0;
+      auto rq = Request::recv(
+          ctx.world(), std::as_writable_bytes(std::span<int>(&v, 1)), 0, 0);
+      rq.start(ctx);
+      co_await ctx.wait(rq);
+    }
+  });
+  // One message, (4 + 12) bytes effective, up + down: 2 * 16 seconds.
+  EXPECT_EQ(eng.clock(4), 32.0);
+}
+
+// Traffic that never reaches a link tier's LCA must never be charged to
+// it: intra-node messages are not network traffic at all, and messages
+// between nodes under the same leaf switch meet at the leaf (the
+// node<->leaf links are the NIC, not a shared tier).
+TEST(LinkContention, IntraNodeAndIntraLeafNeverTouchSpineLinks) {
+  // 4 nodes, 2 per leaf switch, one root: nodes {0,1} and {2,3} each
+  // share a leaf; only pairs crossing the leaf boundary use tier 0.
+  const Machine m({.num_nodes = 4, .regions_per_node = 1,
+                   .ranks_per_region = 2,
+                   .switch_levels = {{.radix = 2, .taper = 2.0},
+                                     {.radix = 2, .taper = 1.0}}});
+  ASSERT_EQ(m.num_link_tiers(), 1);
+  auto run_pair = [&](int dst) {
+    Engine eng(m, network_only(1.0));
+    eng.run([&](Context& ctx) -> Task<> {
+      if (ctx.rank() == 0) {
+        int v = 1;
+        auto s = Request::send(
+            ctx.world(), std::as_bytes(std::span<const int>(&v, 1)), dst, 0);
+        s.start(ctx);
+        co_await ctx.wait(s);
+      } else if (ctx.rank() == dst) {
+        int v = 0;
+        auto rq = Request::recv(
+            ctx.world(), std::as_writable_bytes(std::span<int>(&v, 1)), 0, 0);
+        rq.start(ctx);
+        co_await ctx.wait(rq);
+      }
+    });
+    return eng.total_link_seconds(0);
+  };
+  EXPECT_EQ(run_pair(1), 0.0);  // same node (ranks 0,1 on node 0)
+  EXPECT_EQ(run_pair(2), 0.0);  // node 0 -> node 1: same leaf switch
+  EXPECT_GT(run_pair(4), 0.0);  // node 0 -> node 2: crosses the spine
+}
+
+// Deeper tree: a pair's path charges exactly the tiers below its LCA —
+// tier 0 only for a leaf-boundary crossing, both tiers for a pair that
+// meets at the root.
+TEST(LinkContention, ChargesExactlyTheTiersBelowTheLca) {
+  const Machine m({.num_nodes = 8, .regions_per_node = 1,
+                   .ranks_per_region = 1,
+                   .switch_levels = {{.radix = 2, .taper = 2.0},
+                                     {.radix = 2, .taper = 2.0},
+                                     {.radix = 2, .taper = 1.0}}});
+  ASSERT_EQ(m.num_link_tiers(), 2);
+  auto run_pair = [&](int dst) {
+    Engine eng(m, network_only(1.0));
+    eng.run([&](Context& ctx) -> Task<> {
+      if (ctx.rank() == 0) {
+        int v = 1;
+        auto s = Request::send(
+            ctx.world(), std::as_bytes(std::span<const int>(&v, 1)), dst, 0);
+        s.start(ctx);
+        co_await ctx.wait(s);
+      } else if (ctx.rank() == dst) {
+        int v = 0;
+        auto rq = Request::recv(
+            ctx.world(), std::as_writable_bytes(std::span<int>(&v, 1)), 0, 0);
+        rq.start(ctx);
+        co_await ctx.wait(rq);
+      }
+    });
+    return std::pair{eng.total_link_seconds(0), eng.total_link_seconds(1)};
+  };
+  const auto leaf_cross = run_pair(2);   // LCA level 1
+  EXPECT_GT(leaf_cross.first, 0.0);
+  EXPECT_EQ(leaf_cross.second, 0.0);
+  const auto root_cross = run_pair(4);   // LCA level 2
+  EXPECT_GT(root_cross.first, 0.0);
+  EXPECT_GT(root_cross.second, 0.0);
+}
+
+// Kill switch: with use_link_cap off, a tree-shaped machine measures
+// bit-identically to the flat machine on every registry pattern — the
+// hierarchy description alone must change nothing (that is what keeps
+// every pre-existing sweep byte-stable).
+TEST(LinkContention, CapOffReproducesFlatClocksOnEveryPattern) {
+  const Machine flat({.num_nodes = 4, .regions_per_node = 1,
+                      .ranks_per_region = 4, .switch_levels = {}});
+  for (const auto& spec : patterns::registry()) {
+    const patterns::Workload wl =
+        spec.make(flat, patterns::PatternParams{.values = 6, .seed = 9});
+    for (mpix::Method method : {mpix::Method::standard,
+                                mpix::Method::locality}) {
+      harness::MeasureConfig base;
+      base.ranks_per_region = 4;
+      const harness::PatternMeasurement ref =
+          harness::measure_pattern(wl, method, base);
+
+      harness::MeasureConfig tree = base;
+      tree.switch_levels = {{.radix = 2, .taper = 4.0},
+                            {.radix = 2, .taper = 1.0}};
+      ASSERT_FALSE(tree.cost.use_link_cap);
+      const harness::PatternMeasurement got =
+          harness::measure_pattern(wl, method, tree);
+
+      EXPECT_EQ(ref.init_seconds, got.init_seconds) << spec.name;
+      EXPECT_EQ(ref.blocking_seconds, got.blocking_seconds) << spec.name;
+      EXPECT_EQ(ref.overlapped_seconds, got.overlapped_seconds) << spec.name;
+      EXPECT_EQ(ref.overlap_seconds, got.overlap_seconds) << spec.name;
+      EXPECT_EQ(ref.sum_local_msgs, got.sum_local_msgs) << spec.name;
+      EXPECT_EQ(ref.sum_global_msgs, got.sum_global_msgs) << spec.name;
+      EXPECT_EQ(ref.sum_local_values, got.sum_local_values) << spec.name;
+      EXPECT_EQ(ref.sum_global_values, got.sum_global_values) << spec.name;
+      // The cap being off means no link is ever *charged* ...
+      for (double v : got.link_seconds) EXPECT_EQ(v, 0.0) << spec.name;
+      for (double v : got.max_link_backlog_seconds)
+        EXPECT_EQ(v, 0.0) << spec.name;
+      // ... though crossings are still *counted* (a plan property).
+      long crossings = 0;
+      for (long v : got.sum_link_msgs) crossings += v;
+      if (ref.sum_global_msgs > 0 && method == mpix::Method::standard) {
+        EXPECT_GT(crossings, 0) << spec.name;
+      }
+    }
+  }
+}

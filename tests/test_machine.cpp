@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "simmpi/engine.hpp"
 #include "simmpi/machine.hpp"
 
 using simmpi::Locality;
@@ -101,6 +102,124 @@ TEST(Machine, RejectionNamesTheOffendingField) {
                         .ranks_per_region = -3})
                 .find("-3"),
             std::string::npos);
+}
+
+TEST(Machine, FlatMachineHasNoLinkTiers) {
+  Machine m({.num_nodes = 4, .regions_per_node = 1, .ranks_per_region = 2,
+             .switch_levels = {}});
+  EXPECT_EQ(m.num_switch_levels(), 0);
+  EXPECT_EQ(m.num_link_tiers(), 0);
+  // Flat answer: distinct nodes "meet at the leaf" — nothing to charge.
+  EXPECT_EQ(m.node_lca_level(0, 0), -1);
+  EXPECT_EQ(m.node_lca_level(0, 3), 0);
+}
+
+TEST(Machine, LcaLevelAtSubtreeBoundaries) {
+  // 8 nodes -> 4 leaf switches -> 2 -> 1 root: pairs join exactly where
+  // their subtree paths first share a switch.
+  Machine m({.num_nodes = 8, .regions_per_node = 1, .ranks_per_region = 2,
+             .switch_levels = {{.radix = 2, .taper = 2.0},
+                               {.radix = 2, .taper = 2.0},
+                               {.radix = 2, .taper = 1.0}}});
+  EXPECT_EQ(m.num_switch_levels(), 3);
+  EXPECT_EQ(m.num_link_tiers(), 2);
+  EXPECT_EQ(m.switches_at(0), 4);
+  EXPECT_EQ(m.switches_at(1), 2);
+  EXPECT_EQ(m.switches_at(2), 1);
+  EXPECT_EQ(m.node_lca_level(3, 3), -1);  // same node
+  EXPECT_EQ(m.node_lca_level(0, 1), 0);   // same leaf switch
+  EXPECT_EQ(m.node_lca_level(1, 2), 1);   // leaf boundary (nodes 1|2)
+  EXPECT_EQ(m.node_lca_level(3, 4), 2);   // mid-tree boundary (nodes 3|4)
+  EXPECT_EQ(m.node_lca_level(0, 7), 2);   // opposite halves
+  // Rank-level helper maps through node_of.
+  EXPECT_EQ(m.lca_level(0, 1), -1);       // ranks 0,1 share node 0
+  EXPECT_EQ(m.lca_level(0, 15), 2);       // rank 15 lives on node 7
+  // Symmetry, exhaustively.
+  for (int a = 0; a < m.num_nodes(); ++a)
+    for (int b = 0; b < m.num_nodes(); ++b)
+      EXPECT_EQ(m.node_lca_level(a, b), m.node_lca_level(b, a))
+          << a << " vs " << b;
+}
+
+TEST(Machine, SwitchLevelsMustCascadeEvenly) {
+  // Radix 4 does not divide 6 nodes.
+  EXPECT_THROW(Machine({.num_nodes = 6, .regions_per_node = 1,
+                        .ranks_per_region = 1,
+                        .switch_levels = {{.radix = 4, .taper = 1.0},
+                                          {.radix = 2, .taper = 1.0}}}),
+               simmpi::SimError);
+  // Cascades evenly but leaves 2 switches at the top: no single root.
+  EXPECT_THROW(Machine({.num_nodes = 8, .regions_per_node = 1,
+                        .ranks_per_region = 1,
+                        .switch_levels = {{.radix = 2, .taper = 1.0},
+                                          {.radix = 2, .taper = 1.0}}}),
+               simmpi::SimError);
+}
+
+TEST(Machine, SwitchLevelRejectionNamesTheOffendingField) {
+  auto message_of = [](MachineConfig cfg) -> std::string {
+    try {
+      Machine m(cfg);
+    } catch (const simmpi::SimError& e) {
+      return e.what();
+    }
+    return "";
+  };
+  EXPECT_NE(message_of({.num_nodes = 4, .regions_per_node = 1,
+                        .ranks_per_region = 1,
+                        .switch_levels = {{.radix = 0, .taper = 1.0}}})
+                .find("switch_levels[0].radix"),
+            std::string::npos);
+  EXPECT_NE(message_of({.num_nodes = 4, .regions_per_node = 1,
+                        .ranks_per_region = 1,
+                        .switch_levels = {{.radix = 4, .taper = 1.0},
+                                          {.radix = 1, .taper = -2.0}}})
+                .find("switch_levels[1].taper"),
+            std::string::npos);
+  EXPECT_NE(message_of({.num_nodes = 6, .regions_per_node = 1,
+                        .ranks_per_region = 1,
+                        .switch_levels = {{.radix = 4, .taper = 1.0}}})
+                .find("radix"),
+            std::string::npos);
+  EXPECT_NE(message_of({.num_nodes = 8, .regions_per_node = 1,
+                        .ranks_per_region = 1,
+                        .switch_levels = {{.radix = 2, .taper = 1.0},
+                                          {.radix = 2, .taper = 1.0}}})
+                .find("root"),
+            std::string::npos);
+}
+
+TEST(Machine, EngineRejectsBadLinkRatesNamingTheField) {
+  // Link parameters are used (hence validated) only by an engine with the
+  // link cap enabled; the message must name the field and echo the value.
+  const MachineConfig tree{.num_nodes = 4, .regions_per_node = 1,
+                           .ranks_per_region = 1,
+                           .switch_levels = {{.radix = 2, .taper = 1.0},
+                                             {.radix = 2, .taper = 1.0}}};
+  auto message_of = [&](simmpi::CostParams p) -> std::string {
+    p.use_link_cap = true;
+    try {
+      simmpi::Engine eng{Machine(tree), p};
+    } catch (const simmpi::SimError& e) {
+      return e.what();
+    }
+    return "";
+  };
+  simmpi::CostParams bad_rate;
+  bad_rate.link_rate = 0.0;
+  EXPECT_NE(message_of(bad_rate).find("link_rate"), std::string::npos);
+  simmpi::CostParams wrong_arity;
+  wrong_arity.link_rates = {1.0, 1.0, 1.0};  // machine has 1 tier
+  EXPECT_NE(message_of(wrong_arity).find("link_rates"), std::string::npos);
+  simmpi::CostParams negative_entry;
+  negative_entry.link_rates = {-5.0};
+  EXPECT_NE(message_of(negative_entry).find("link_rates[0]"),
+            std::string::npos);
+  EXPECT_NE(message_of(negative_entry).find("-5"), std::string::npos);
+  // With the cap off the same parameters are inert: construction succeeds.
+  simmpi::CostParams off;
+  off.link_rate = 0.0;
+  EXPECT_NO_THROW(simmpi::Engine(Machine(tree), off));
 }
 
 TEST(Machine, RejectsRankCountOverflow) {

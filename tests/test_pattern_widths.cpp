@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "harness/measure.hpp"
@@ -27,7 +28,7 @@ constexpr int kWidths[] = {1, 2, 4, 7};
 
 Machine test_machine() {
   return Machine({.num_nodes = 4, .regions_per_node = 1,
-                  .ranks_per_region = 4});
+                  .ranks_per_region = 4, .switch_levels = {}});
 }
 
 /// Exact (bitwise) equality of two measurements; doubles compared with ==
@@ -44,6 +45,21 @@ void expect_identical(const PatternMeasurement& a, const PatternMeasurement& b,
   EXPECT_EQ(a.sum_global_values, b.sum_global_values) << what;
   EXPECT_EQ(a.max_global_msgs, b.max_global_msgs) << what;
   EXPECT_EQ(a.max_global_msg_values, b.max_global_msg_values) << what;
+  EXPECT_EQ(a.link_seconds, b.link_seconds) << what;
+  EXPECT_EQ(a.max_link_backlog_seconds, b.max_link_backlog_seconds) << what;
+  EXPECT_EQ(a.sum_link_msgs, b.sum_link_msgs) << what;
+}
+
+/// 4:1-tapered two-leaf fat tree over the 4-node test machine, with the
+/// shared-link queues charged: the contention arithmetic must be as
+/// width-free as the rest of the model.
+MeasureConfig link_capped_config() {
+  MeasureConfig cfg;
+  cfg.ranks_per_region = 4;
+  cfg.switch_levels = {{.radix = 2, .taper = 4.0}, {.radix = 2, .taper = 1.0}};
+  cfg.cost.use_link_cap = true;
+  cfg.cost.link_msg_bytes = 256.0;
+  return cfg;
 }
 
 }  // namespace
@@ -94,6 +110,46 @@ TEST(PatternWidths, DensePathIsWidthIdentical) {
   }
 }
 
+/// The shared-link queues are charged only in the single-threaded commit
+/// step, so their clocks and counters must also be bit-identical at every
+/// width — for every pattern, every sparse method, and the dense paths.
+TEST(PatternWidths, LinkCapIsWidthIdentical) {
+  const Machine m = test_machine();
+  for (const auto& spec : patterns::registry()) {
+    const Workload wl = spec.make(m, PatternParams{.values = 6, .seed = 9});
+    for (mpix::Method method : mpix::kAllMethods) {
+      MeasureConfig cfg = link_capped_config();
+      cfg.threads = 1;
+      const PatternMeasurement ref =
+          harness::measure_pattern(wl, method, cfg);
+      // The capped run must actually exercise the queues (every pattern
+      // has at least one leaf-boundary crossing on this machine).
+      double busy = 0.0;
+      for (double v : ref.link_seconds) busy += v;
+      EXPECT_GT(busy, 0.0) << spec.name;
+      for (int w : kWidths) {
+        if (w == 1) continue;
+        cfg.threads = w;
+        expect_identical(ref, harness::measure_pattern(wl, method, cfg),
+                         spec.name);
+      }
+    }
+    for (mpix::AlltoallMethod method : mpix::kAllAlltoallMethods) {
+      MeasureConfig cfg = link_capped_config();
+      cfg.threads = 1;
+      const PatternMeasurement ref =
+          harness::measure_pattern_dense(wl, method, cfg);
+      for (int w : kWidths) {
+        if (w == 1) continue;
+        cfg.threads = w;
+        expect_identical(ref,
+                         harness::measure_pattern_dense(wl, method, cfg),
+                         spec.name);
+      }
+    }
+  }
+}
+
 /// Host-reference byte comparison: the engine-delivered receive buffers of
 /// the incast and stencil patterns must equal buffers computed on the host
 /// from the gid scheme alone, byte for byte, at every width.
@@ -114,8 +170,20 @@ TEST(PatternWidths, DeliveredBytesMatchHostReference) {
               patterns::payload_byte(b.recv_gids[k], i);
     }
 
+    // Once on the flat machine, once through the 4:1-tapered tree with
+    // link contention charged: queueing reorders arrival *times*, never
+    // payload routing, so the delivered bytes must not change.
+    simmpi::MachineConfig tree_cfg = test_machine().config();
+    tree_cfg.switch_levels = {{.radix = 2, .taper = 4.0},
+                              {.radix = 2, .taper = 1.0}};
+    simmpi::CostParams capped = simmpi::CostParams::lassen();
+    capped.use_link_cap = true;
+    const std::pair<Machine, simmpi::CostParams> variants[] = {
+        {test_machine(), simmpi::CostParams::lassen()},
+        {Machine(tree_cfg), capped}};
+    for (const auto& [machine, params] : variants)
     for (int w : kWidths) {
-      simmpi::Engine eng(test_machine(), simmpi::CostParams::lassen(),
+      simmpi::Engine eng(machine, params,
                          simmpi::Engine::Options{.threads = w});
       std::vector<std::vector<std::byte>> got(p);
       eng.run([&](simmpi::Context& ctx) -> simmpi::Task<> {
