@@ -1,0 +1,17 @@
+# Opt-in clang-tidy integration: configure with -DCOLLOM_CLANG_TIDY=ON to
+# run the repo's .clang-tidy baseline (bugprone/concurrency/performance +
+# curated modernize, WarningsAsErrors on everything enabled) on every
+# compile.  Off by default — tidy roughly doubles compile time and needs a
+# clang toolchain; the `lint` CI job runs it over src/util and src/harness
+# (the cross-thread-shared layers) via run-clang-tidy instead, which works
+# from any compiler's compile_commands.json.
+option(COLLOM_CLANG_TIDY "Run clang-tidy on every compiled file" OFF)
+
+if(COLLOM_CLANG_TIDY)
+  find_program(COLLOM_CLANG_TIDY_EXE NAMES clang-tidy)
+  if(NOT COLLOM_CLANG_TIDY_EXE)
+    message(FATAL_ERROR "COLLOM_CLANG_TIDY=ON but clang-tidy was not found")
+  endif()
+  set(CMAKE_CXX_CLANG_TIDY "${COLLOM_CLANG_TIDY_EXE}")
+  message(STATUS "clang-tidy enabled: ${COLLOM_CLANG_TIDY_EXE}")
+endif()

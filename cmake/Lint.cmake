@@ -1,0 +1,20 @@
+# `lint` target: the determinism linter (tools/lint_determinism.py) run as
+# a build step — self-test first (proof the rules still catch seeded
+# violations), then the real tree.  Pure Python 3, no third-party deps, a
+# couple of seconds; CI runs the same two commands in the `lint` job.
+#
+#   cmake --build build --target lint
+find_package(Python3 COMPONENTS Interpreter QUIET)
+
+if(Python3_Interpreter_FOUND)
+  add_custom_target(lint
+    COMMAND ${Python3_EXECUTABLE}
+            ${CMAKE_SOURCE_DIR}/tools/lint_determinism.py --self-test
+    COMMAND ${Python3_EXECUTABLE}
+            ${CMAKE_SOURCE_DIR}/tools/lint_determinism.py
+            --root ${CMAKE_SOURCE_DIR}
+    COMMENT "Determinism lint (tools/lint_determinism.py)"
+    VERBATIM)
+else()
+  message(STATUS "Python3 not found: `lint` target unavailable")
+endif()

@@ -2,3 +2,11 @@
 # link collom_warnings PRIVATE from each target.
 add_library(collom_warnings INTERFACE)
 target_compile_options(collom_warnings INTERFACE -Wall -Wextra)
+
+# Clang statically checks the CAPABILITY/GUARDED_BY/REQUIRES annotations in
+# src/util/thread_annotations.hpp (no-op attributes under gcc).  The CI
+# thread-safety job promotes the group to an error with
+# -Werror=thread-safety; locally it is an ordinary warning.
+if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  target_compile_options(collom_warnings INTERFACE -Wthread-safety)
+endif()

@@ -197,7 +197,7 @@ std::uint64_t cache_key(std::uint64_t pattern_key, mpix::Method method,
 
 std::shared_ptr<const mpix::PlanBase> PlanCache::find_base(std::uint64_t key,
                                                            int rank) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   auto* entry = plans_.find({key, rank});
   if (!entry) {
     ++misses_;
@@ -209,7 +209,7 @@ std::shared_ptr<const mpix::PlanBase> PlanCache::find_base(std::uint64_t key,
 
 void PlanCache::put(std::uint64_t key, int rank,
                     std::shared_ptr<const mpix::PlanBase> plan) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   if (plan) plans_[{key, rank}] = std::move(plan);
 }
 

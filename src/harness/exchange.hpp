@@ -23,13 +23,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <type_traits>
 #include <utility>
 
 #include "mpix/neighbor.hpp"
 #include "sparse/par_csr.hpp"
 #include "util/flat_map.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace harness {
 
@@ -119,29 +119,29 @@ class PlanCache {
            std::shared_ptr<const mpix::PlanBase> plan);
 
   long hits() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     return hits_;
   }
   long misses() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     return misses_;
   }
   std::size_t size() const {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     return plans_.size();
   }
   void clear() {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(mu_);
     plans_.clear();
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   util::FlatMap<std::pair<std::uint64_t, int>,
                 std::shared_ptr<const mpix::PlanBase>>
-      plans_;
-  long hits_ = 0;
-  long misses_ = 0;
+      plans_ GUARDED_BY(mu_);
+  long hits_ GUARDED_BY(mu_) = 0;
+  long misses_ GUARDED_BY(mu_) = 0;
 };
 
 /// Order-sensitive fingerprint of a *global* halo pattern (all ranks'

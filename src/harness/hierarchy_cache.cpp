@@ -240,18 +240,25 @@ HierarchyCache::HierarchyCache(std::filesystem::path dir,
     : dir_(std::move(dir)), max_bytes_(max_bytes) {}
 
 HierarchyCache* HierarchyCache::global() {
-  static std::optional<HierarchyCache> cache =
-      []() -> std::optional<HierarchyCache> {
+  // The mutex and sequence-counter members make the class immovable, so the
+  // instance is emplaced in place inside the once-guarded initializer.
+  static HierarchyCache* inst = []() -> HierarchyCache* {
+    // Read-only env lookups; nothing in this process calls setenv().
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* v = std::getenv("COLLOM_HIER_CACHE"))
       if (std::string_view(v) == "0" || std::string_view(v) == "off")
-        return std::nullopt;
+        return nullptr;
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* dir = std::getenv("COLLOM_HIER_CACHE_DIR");
     std::uintmax_t max_bytes = 0;
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* m = std::getenv("COLLOM_HIER_CACHE_MAX_BYTES"))
       max_bytes = std::strtoull(m, nullptr, 10);
-    return HierarchyCache(dir && *dir ? dir : "hier-cache", max_bytes);
+    static std::optional<HierarchyCache> cache;
+    cache.emplace(dir && *dir ? dir : "hier-cache", max_bytes);
+    return &*cache;
   }();
-  return cache ? &*cache : nullptr;
+  return inst;
 }
 
 std::filesystem::path HierarchyCache::path_of(const Key& key) const {
@@ -266,7 +273,17 @@ std::filesystem::path HierarchyCache::path_of(const Key& key) const {
 }
 
 std::optional<amg::DistHierarchy> HierarchyCache::load(const Key& key) {
-  ++misses_;  // flipped to a hit on success
+  std::optional<amg::DistHierarchy> dh = load_file(key);
+  util::MutexLock lk(mu_);
+  if (dh)
+    ++hits_;
+  else
+    ++misses_;
+  return dh;
+}
+
+std::optional<amg::DistHierarchy> HierarchyCache::load_file(
+    const Key& key) const {
   std::ifstream in(path_of(key), std::ios::binary);
   if (!in) return std::nullopt;
 
@@ -313,8 +330,6 @@ std::optional<amg::DistHierarchy> HierarchyCache::load(const Key& key) {
     if (dh.nranks != key.nranks ||
         (dh.num_levels() > 0 && dh.levels[0].n() != key.rows))
       return std::nullopt;
-    --misses_;
-    ++hits_;
     return dh;
   } catch (const std::exception&) {
     return std::nullopt;  // corrupt / truncated / malformed: rebuild
@@ -338,8 +353,15 @@ bool HierarchyCache::store(const Key& key, const amg::DistHierarchy& dh) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   const std::filesystem::path dst = path_of(key);
-  const std::filesystem::path tmp =
-      dst.string() + ".tmp" + std::to_string(::getpid());
+  // The temp name must be unique per *writer*, not just per process: two
+  // threads storing the same key from one pid used to share a temp path
+  // and interleave their writes in it.  pid + per-instance sequence makes
+  // every in-flight temp file distinct; the rename then publishes each
+  // candidate whole, last writer winning.
+  const std::uint64_t seq = store_seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::filesystem::path tmp = dst.string() + ".tmp-" +
+                                    std::to_string(::getpid()) + "-" +
+                                    std::to_string(seq);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return false;
@@ -373,6 +395,9 @@ void HierarchyCache::evict_over_cap(const std::filesystem::path& keep) {
   std::uintmax_t total = 0;
   std::error_code ec;
   for (const auto& de : std::filesystem::directory_iterator(dir_, ec)) {
+    // Only completed entries are eviction candidates: the ".chc" filter
+    // skips in-flight ".tmp-*" files (their extension is the temp suffix),
+    // so eviction can never delete a file another writer is mid-write on.
     if (!de.is_regular_file(ec) || de.path().extension() != ".chc") continue;
     const std::uintmax_t size = de.file_size(ec);
     if (ec) continue;

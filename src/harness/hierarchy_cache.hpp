@@ -23,21 +23,29 @@
 /// the hierarchy construction itself change meaning, and wipe stale caches
 /// with `rm -rf build/hier-cache` (see docs/BENCHMARKS.md).
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <optional>
 
 #include "amg/distribute.hpp"
 #include "amg/hierarchy.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace harness {
 
 /// Disk cache of `amg::DistHierarchy` instances (see file brief).
 ///
 /// Lookups and stores are host-side (bench/test setup code, outside engine
-/// runs); the class performs no locking.  Concurrent *processes* are safe:
-/// stores write a temporary file and atomically rename it into place, and a
-/// torn read fails the checksum and falls back to a rebuild.
+/// runs).  Concurrent *threads* sharing one instance — the batch-driver
+/// scenario — are safe: each store writes a unique temporary file
+/// (pid + store sequence number) and atomically renames it into place, so
+/// same-key writers cannot interleave bytes in one temp file, and the
+/// hit/miss counters are mutex-guarded.  Concurrent *processes* are safe
+/// for the same reason, and a torn or half-written read fails the checksum
+/// and falls back to a rebuild.  Eviction only ever considers completed
+/// `.chc` entries — in-flight `.tmp-*` files are skipped, and a stale temp
+/// left by a crashed process is inert (never loaded, never renamed).
 class HierarchyCache {
  public:
   /// Serialization format version (mix into the content address AND the
@@ -70,25 +78,40 @@ class HierarchyCache {
 
   /// Load the hierarchy cached under `key`.  Returns nullopt on a missing,
   /// corrupt, truncated, version- or key-mismatched file — the caller
-  /// rebuilds; this never throws on bad cache contents.
+  /// rebuilds; this never throws on bad cache contents.  Thread-safe.
   std::optional<amg::DistHierarchy> load(const Key& key);
 
-  /// Best-effort store (atomic rename); returns false (without throwing)
-  /// when the cache directory is not writable.
+  /// Best-effort store (unique temp file + atomic rename); returns false
+  /// (without throwing) when the cache directory is not writable.
+  /// Thread-safe: concurrent stores — even of the same key — each write
+  /// their own temp file, and the last rename wins whole.
   bool store(const Key& key, const amg::DistHierarchy& dh);
 
-  long hits() const { return hits_; }
-  long misses() const { return misses_; }
+  long hits() const {
+    util::MutexLock lk(mu_);
+    return hits_;
+  }
+  long misses() const {
+    util::MutexLock lk(mu_);
+    return misses_;
+  }
 
  private:
+  /// The load logic without counter accounting (see load()).
+  std::optional<amg::DistHierarchy> load_file(const Key& key) const;
   /// Enforce max_bytes_ over the `.chc` files of dir_, oldest mtime first,
-  /// never removing `keep` (the entry the caller just wrote).
+  /// never removing `keep` (the entry the caller just wrote) and never a
+  /// `.tmp-*` file another thread or process is still writing.
   void evict_over_cap(const std::filesystem::path& keep);
 
   std::filesystem::path dir_;
   std::uintmax_t max_bytes_ = 0;
-  long hits_ = 0;
-  long misses_ = 0;
+  /// Per-instance store sequence; combined with the pid it makes every
+  /// temp filename unique across threads and processes.
+  std::atomic<std::uint64_t> store_seq_{0};
+  mutable util::Mutex mu_;
+  long hits_ GUARDED_BY(mu_) = 0;
+  long misses_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace harness

@@ -581,7 +581,7 @@ std::shared_ptr<const CommData> Engine::get_or_create_comm(
   // winner under the lock assigns the ctx_id.  ctx_ids are identities only
   // — no simulated cost or schedule decision reads their numeric value —
   // so the winner's thread-dependence cannot break determinism.
-  std::lock_guard<std::mutex> lk(comm_mu_);
+  util::MutexLock lk(comm_mu_);
   auto it = comm_cache_.find(key);
   if (it != comm_cache_.end()) {
     if (it->second->members != members_global)

@@ -28,8 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
+#include <unordered_map>  // lint:allow(unordered-container) comm_cache_ below
 #include <vector>
 
 #include "simmpi/comm.hpp"
@@ -39,6 +38,7 @@
 #include "simmpi/types.hpp"
 #include "util/arena.hpp"
 #include "util/flat_map.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace simmpi {
 
@@ -327,10 +327,13 @@ class Engine {
   std::vector<std::coroutine_handle<>> ready_;
 
   std::shared_ptr<const CommData> world_data_;
-  std::uint32_t next_ctx_id_ = 1;
+  util::Mutex comm_mu_;
+  std::uint32_t next_ctx_id_ GUARDED_BY(comm_mu_) = 1;
+  // Never iterated: keyed get-or-create only, so its nondeterministic
+  // bucket order can never leak into the schedule.
+  // lint:allow(unordered-container)
   std::unordered_map<std::uint64_t, std::shared_ptr<const CommData>>
-      comm_cache_;
-  std::mutex comm_mu_;  ///< guards comm_cache_ / next_ctx_id_
+      comm_cache_ GUARDED_BY(comm_mu_);
 
   // sync_reset generation state (commit-side; see sync_reset)
   int sync_arrivals_ = 0;

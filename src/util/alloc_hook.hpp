@@ -12,6 +12,14 @@
 /// The hook is malloc-backed and works under ASan (which intercepts the
 /// underlying malloc/free); only the *count* is observed, never the
 /// pointers.
+///
+/// Thread-safety: the hook's only state is one relaxed atomic counter —
+/// lock-free by construction, so there is nothing for a clang
+/// `GUARDED_BY` annotation to guard (see util/thread_annotations.hpp for
+/// the convention).  Concurrent allocating threads are exercised under
+/// ThreadSanitizer by the cache-concurrency battery; relaxed ordering is
+/// correct because tests only compare counts read from quiescent points
+/// (after joins), never mid-flight.
 
 #include <atomic>
 #include <cstddef>

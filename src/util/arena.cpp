@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <new>
+
+#include "util/thread_annotations.hpp"
 
 namespace util {
 
@@ -99,11 +100,13 @@ std::atomic<std::uint64_t> g_reuses{0};
 /// static pointer): per-thread caches drain here from thread-exit
 /// destructors, which may run arbitrarily late.
 struct Reservoir {
-  std::mutex mu;
-  FreeNode* head[kNumBuckets] = {};
+  Mutex mu;
+  FreeNode* head[kNumBuckets] GUARDED_BY(mu) = {};
 };
 
 Reservoir& reservoir() {
+  // lint:allow(naked-new) intentional leak: thread-exit destructors of
+  // ThreadCache drain here arbitrarily late, after any static would die.
   static Reservoir* r = new Reservoir;
   return *r;
 }
@@ -119,7 +122,7 @@ struct ThreadCache {
 
   ~ThreadCache() {
     Reservoir& r = reservoir();
-    std::lock_guard<std::mutex> lk(r.mu);
+    MutexLock lk(r.mu);
     for (int b = 0; b < kNumBuckets; ++b) {
       while (head[b]) {
         FreeNode* n = head[b];
@@ -141,7 +144,7 @@ struct ThreadCache {
     // between threads, the cap below bounds any one cache).
     Reservoir& r = reservoir();
     {
-      std::lock_guard<std::mutex> lk(r.mu);
+      MutexLock lk(r.mu);
       head[b] = r.head[b];
       r.head[b] = nullptr;
     }
@@ -165,7 +168,7 @@ struct ThreadCache {
       // Flush half to the reservoir so blocks freed here are visible to
       // allocating threads without waiting for thread exit.
       Reservoir& r = reservoir();
-      std::lock_guard<std::mutex> lk(r.mu);
+      MutexLock lk(r.mu);
       for (int i = 0; i < kCacheCap / 2; ++i) {
         FreeNode* f = head[b];
         head[b] = f->next;

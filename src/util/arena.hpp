@@ -30,7 +30,13 @@
 /// from any thread — the refcount release/acquire pair orders the
 /// consumer's last read before the producer's reuse.  The frame pool is
 /// safe from any thread by construction (thread-local caches + internally
-/// locked reservoir).
+/// locked reservoir; the reservoir's lists are `GUARDED_BY` its mutex —
+/// see util/thread_annotations.hpp).  Neither protocol is expressible as
+/// a clang lock annotation on this header's members (`Chunk::live` is a
+/// refcount capability, not a mutex), so the dynamic side is pinned by
+/// the TSan battery instead: `tests/test_cache_concurrency.cpp` churns
+/// cross-thread release and frame-reservoir traffic under
+/// `-DSANITIZE=thread`.
 
 #include <atomic>
 #include <cstddef>

@@ -1,0 +1,107 @@
+#pragma once
+/// \file thread_annotations.hpp
+/// \brief Clang thread-safety annotation macros plus the annotated
+/// `Mutex`/`MutexLock`/`CondVar` primitives the shared-state layers use.
+///
+/// Clang's `-Wthread-safety` analysis turns lock-discipline violations —
+/// touching a `GUARDED_BY` member without its mutex, releasing a lock the
+/// caller never acquired — into *compile errors* (the CI clang job builds
+/// with `-Wthread-safety -Werror=thread-safety`).  gcc does not implement
+/// the attributes, so every macro expands to nothing there: including this
+/// header anywhere is free, and the gcc tier1/TSan builds are unaffected.
+///
+/// `std::mutex` carries no capability annotations in libstdc++, so the
+/// analysis cannot see through `std::lock_guard<std::mutex>`.  The shared
+/// caches therefore use the thin wrappers below: `util::Mutex` is an
+/// annotated capability over `std::mutex`, `MutexLock` is the annotated
+/// scoped lock, and `CondVar` waits directly on a held `Mutex`
+/// (`std::condition_variable_any`; wakeup paths here are cold — pool
+/// generation changes, cache inserts — never the engine hot path).
+///
+/// Annotation discipline (see docs/ARCHITECTURE.md, "Thread-safety
+/// contract"): every member a mutex protects is declared `GUARDED_BY`
+/// that mutex; private helpers that expect the lock held are `REQUIRES`.
+/// State published through other mechanisms (the WorkerPool's
+/// generation-handshake fields, the Arena's refcounts) is documented at
+/// the member instead — annotating it `GUARDED_BY` would misstate the
+/// protocol.  ThreadSanitizer (`-DSANITIZE=thread`) checks those dynamic
+/// protocols at runtime; the annotations prove the lock-based ones
+/// statically.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define COLLOM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define COLLOM_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// clang-format off
+#define CAPABILITY(x) COLLOM_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY COLLOM_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) COLLOM_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) COLLOM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRE(...) COLLOM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) COLLOM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  COLLOM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define REQUIRES(...) COLLOM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define EXCLUDES(...) COLLOM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) COLLOM_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) COLLOM_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  COLLOM_THREAD_ANNOTATION(no_thread_safety_analysis)
+// clang-format on
+
+namespace util {
+
+/// `std::mutex` as an annotated capability.  BasicLockable, so it also
+/// works with `std::lock_guard<util::Mutex>` where a standard scoped type
+/// is required — but prefer `MutexLock`, which the analysis understands.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Annotated scoped lock over `Mutex` (the only way the clang analysis
+/// tracks RAII acquisition).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable waiting directly on a held `Mutex`.  Callers loop on
+/// their predicate around `wait` (spurious wakeups are allowed), which
+/// keeps the predicate reads inside the caller's own locked scope — no
+/// lambda for the analysis to lose track of.
+class CondVar {
+ public:
+  /// Atomically release `mu`, sleep, and re-acquire `mu` before
+  /// returning.  `mu` must be held on entry (enforced by clang).
+  void wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu.mu_); }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace util

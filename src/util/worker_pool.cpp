@@ -10,6 +10,8 @@ int resolve_threads(int requested,
   int t = requested;
   if (t <= 0) {
     for (const char* var : env_vars) {
+      // Read-only env lookup; nothing in this process calls setenv().
+      // NOLINTNEXTLINE(concurrency-mt-unsafe)
       if (const char* env = std::getenv(var)) {
         t = std::atoi(env);
         if (t > 0) break;
@@ -24,7 +26,7 @@ WorkerPool::WorkerPool(int nthreads) : nthreads_(std::max(1, nthreads)) {}
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
     ++gen_;
   }
@@ -55,14 +57,14 @@ void WorkerPool::run(std::size_t n, std::size_t chunk, const ChunkFn& fn) {
         threads_.emplace_back([this, i] { worker_loop(i + 1); });
     }
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       pending_ = nthreads_ - 1;
       ++gen_;
     }
     cv_.notify_all();
     run_chunks(0);
-    std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [this] { return pending_ == 0; });
+    MutexLock lk(mu_);
+    while (pending_ != 0) done_cv_.wait(mu_);
   }
   fn_ = nullptr;
   for (auto& e : errs_)
@@ -85,15 +87,18 @@ void WorkerPool::run_chunks(int worker) {
 
 void WorkerPool::worker_loop(int worker) {
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    cv_.wait(lk, [&] { return stop_ || gen_ != seen; });
-    if (stop_) return;
-    seen = gen_;
-    lk.unlock();
+    {
+      MutexLock lk(mu_);
+      while (!stop_ && gen_ == seen) cv_.wait(mu_);
+      if (stop_) return;
+      seen = gen_;
+    }
     run_chunks(worker);
-    lk.lock();
-    if (--pending_ == 0) done_cv_.notify_one();
+    {
+      MutexLock lk(mu_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
   }
 }
 

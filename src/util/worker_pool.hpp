@@ -22,15 +22,15 @@
 /// docs/COROUTINE_PITFALLS.md).
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <initializer_list>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace util {
 
@@ -80,16 +80,22 @@ class WorkerPool {
 
   const int nthreads_;
   std::vector<std::thread> threads_;
+  // Invocation state (fn_, n_, chunk_, errs_, next_) is *not* GUARDED_BY
+  // mu_: run() writes it while the pool is quiescent, and the generation
+  // handshake below publishes it — workers read it only after observing
+  // the gen_ bump under mu_ (acquire), and run() reads errs_ back only
+  // after pending_ drained to zero under mu_.  Annotating it GUARDED_BY
+  // would claim a stronger (and false) protocol; TSan validates this one.
   const ChunkFn* fn_ = nullptr;
   std::size_t n_ = 0;
   std::size_t chunk_ = 1;
   std::vector<std::exception_ptr> errs_;
   std::atomic<std::size_t> next_{0};
-  std::mutex mu_;
-  std::condition_variable cv_, done_cv_;
-  std::uint64_t gen_ = 0;
-  int pending_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_, done_cv_;
+  std::uint64_t gen_ GUARDED_BY(mu_) = 0;
+  int pending_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 /// Chunk size of a row-parallel pass over `rows` items on `threads`

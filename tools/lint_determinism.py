@@ -1,0 +1,310 @@
+#!/usr/bin/env python3
+"""Determinism lint: machine-checked rules for the ARCHITECTURE.md contract.
+
+The repo's headline guarantee is a bit-identical simulated schedule at any
+sim/build thread width.  The determinism contract that guarantees it
+(docs/ARCHITECTURE.md, "Determinism contract") has three rules a grep can
+enforce mechanically; this linter makes violating them a build failure
+(`cmake --build build --target lint`, and the `lint` CI job):
+
+  unordered-container
+      No `std::unordered_map` / `std::unordered_set` (or their multi-
+      variants) in the schedule-affecting layers (src/simmpi, src/mpix,
+      src/patterns).  Hash-bucket iteration order is libstdc++-version-
+      and seed-dependent; one loop over such a container in a layer that
+      emits messages or builds plans silently breaks the width contract.
+      Use util::FlatMap (sorted, deterministic) instead.
+
+  wall-clock
+      No wall-clock or CPU-clock reads (`steady_clock`, `system_clock`,
+      `high_resolution_clock`, `clock_gettime`, `gettimeofday`, `::time`)
+      anywhere in src/ outside the harness layer: simulated time comes
+      from the cost model only.  Host timing belongs to harness
+      measurement code and the bench binaries.
+
+  nondeterministic-random
+      No `std::random_device`, `rand()`, or `srand()` anywhere in src/:
+      every generator in the codebase derives from fixed seeds
+      (counter-mode splitmix64 in the patterns layer), so any run is
+      reproducible from its parameters alone.
+
+  naked-new
+      No naked `new` / `delete` expressions in the engine hot-path files
+      guarded by the PR 5 zero-allocation test (src/simmpi/engine.*,
+      src/simmpi/task.hpp, src/util/arena.*).  Steady-state allocations
+      there must go through the arena or the frame pool; a stray `new`
+      defeats the zero-allocation guarantee the EngineAlloc suite pins.
+
+Escapes: a line (or its predecessor) containing `lint:allow(<rule>)` in a
+comment suppresses that rule for that line; every allow should carry a
+justification comment.  Comments and string literals are stripped before
+matching, so prose about these constructs never trips the linter.
+
+Self-test: `--self-test` runs the linter against seeded violations (one
+per rule, plus allow-escape and comment-immunity cases) and fails loudly
+if any rule has gone blind — proof the lint target still has teeth.
+
+Exit status: 0 clean, 1 violations found, 2 self-test failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import tempfile
+
+# rule name -> (compiled pattern, [path prefixes], explanation)
+RULES = {
+    "unordered-container": (
+        re.compile(r"\bunordered_(?:multi)?(?:map|set)\b"),
+        ["src/simmpi", "src/mpix", "src/patterns"],
+        "hash-bucket order is nondeterministic; use util::FlatMap "
+        "(or justify identity-only use with lint:allow)",
+    ),
+    "wall-clock": (
+        re.compile(
+            r"\b(?:steady_clock|system_clock|high_resolution_clock"
+            r"|clock_gettime|gettimeofday)\b"
+            r"|::time\s*\("
+        ),
+        ["src/simmpi", "src/mpix", "src/patterns", "src/sparse", "src/amg",
+         "src/model", "src/util"],
+        "simulated layers must not read host clocks; timing belongs to "
+        "harness/bench code",
+    ),
+    "nondeterministic-random": (
+        re.compile(
+            r"\bstd::random_device\b|(?<![\w:])s?rand\s*\("
+        ),
+        ["src"],
+        "all randomness must derive from fixed seeds (splitmix64)",
+    ),
+    "naked-new": (
+        re.compile(
+            r"(?<![\w_])new\s+[A-Za-z_:(]"   # new-expressions
+            r"|(?<![\w_])delete(?:\s*\[\s*\])?\s+[A-Za-z_:(*]"
+        ),
+        ["src/simmpi/engine.cpp", "src/simmpi/engine.hpp",
+         "src/simmpi/task.hpp", "src/util/arena.cpp", "src/util/arena.hpp"],
+        "engine hot-path files are guarded by the zero-allocation test; "
+        "allocate via the arena or frame pool",
+    ),
+}
+
+ALLOW = re.compile(r"lint:allow\(([a-z-]+)\)")
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h"}
+
+
+def strip_code(text: str) -> list[str]:
+    """Return per-line code with comments and string/char literals blanked.
+
+    Replaced regions keep their line structure (newlines survive) so
+    reported line numbers match the file.  A deliberately small scanner:
+    handles //, /* */, "..." and '...' with backslash escapes — the only
+    forms the codebase uses (no raw strings in linted layers).
+    """
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line_comment | block_comment | dq | sq
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "dq"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "sq"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line_comment":
+            if c == "\n":
+                mode = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif mode == "block_comment":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # dq / sq string or char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if (mode == "dq" and c == '"') or (mode == "sq" and c == "'"):
+                mode = "code"
+                out.append(" ")
+            else:
+                out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out).split("\n")
+
+
+def allowed_rules(raw_lines: list[str], lineno: int) -> set[str]:
+    """lint:allow(...) escapes covering `lineno` (1-based): same line or
+    any immediately preceding comment-only lines."""
+    allows: set[str] = set()
+    allows.update(ALLOW.findall(raw_lines[lineno - 1]))
+    j = lineno - 2
+    while j >= 0 and raw_lines[j].lstrip().startswith("//"):
+        allows.update(ALLOW.findall(raw_lines[j]))
+        j -= 1
+    return allows
+
+
+def lint_file(path: pathlib.Path, rel: str) -> list[tuple[str, int, str, str]]:
+    """Return (rule, line, text, why) violations for one file."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as e:
+        return [("unreadable", 0, str(e), "linted files must be UTF-8")]
+    raw_lines = text.split("\n")
+    code_lines = strip_code(text)
+    findings = []
+    for rule, (pattern, prefixes, why) in RULES.items():
+        # A prefix is either a directory (scope: everything under it) or an
+        # exact file path (the naked-new hot-path list).
+        if not any(rel == p or rel.startswith(p + "/") for p in prefixes):
+            continue
+        for lineno, code in enumerate(code_lines, start=1):
+            if not pattern.search(code):
+                continue
+            if rule in allowed_rules(raw_lines, lineno):
+                continue
+            findings.append((rule, lineno, raw_lines[lineno - 1].strip(), why))
+    return findings
+
+
+def lint_tree(root: pathlib.Path) -> int:
+    files = []
+    for prefix in {p for _, ps, _ in RULES.values() for p in ps}:
+        base = root / prefix
+        if base.is_file():
+            files.append(base)
+        elif base.is_dir():
+            files.extend(
+                p for p in sorted(base.rglob("*")) if p.suffix in
+                SOURCE_SUFFIXES)
+    nfail = 0
+    for path in sorted(set(files)):
+        rel = path.relative_to(root).as_posix()
+        for rule, lineno, line, why in lint_file(path, rel):
+            nfail += 1
+            print(f"{rel}:{lineno}: [{rule}] {line}\n    ({why}; "
+                  f"suppress with // lint:allow({rule}) + justification)")
+    if nfail:
+        print(f"lint_determinism: {nfail} violation(s)", file=sys.stderr)
+        return 1
+    print("lint_determinism: clean")
+    return 0
+
+
+# ---- self-test -------------------------------------------------------
+
+SEEDED = [
+    # (relative path, contents, expected rule or None)
+    ("src/simmpi/bad_map.cpp",
+     "#include <unordered_map>\nstd::unordered_map<int,int> m;\n",
+     "unordered-container"),
+    ("src/mpix/bad_set.hpp",
+     "auto x = std::unordered_set<long>{};\n",
+     "unordered-container"),
+    ("src/patterns/bad_clock.cpp",
+     "auto t = std::chrono::steady_clock::now();\n",
+     "wall-clock"),
+    ("src/sparse/bad_rand.cpp",
+     "int f() { return rand(); }\n",
+     "nondeterministic-random"),
+    ("src/amg/bad_device.cpp",
+     "std::random_device rd;\n",
+     "nondeterministic-random"),
+    ("src/simmpi/engine.cpp",
+     "void* p = new char[64];\n",
+     "naked-new"),
+    ("src/simmpi/task.hpp",
+     "struct T { ~T() { delete ptr; } int* ptr; };\n",
+     "naked-new"),
+    # Escapes and immunity: none of these may fire.
+    ("src/simmpi/allowed_map.hpp",
+     "// identity-only cache, never iterated\n"
+     "// lint:allow(unordered-container)\n"
+     "std::unordered_map<int,int> cache;\n",
+     None),
+    ("src/util/arena.cpp",
+     "int* p = new int;  // lint:allow(naked-new) leak on purpose\n",
+     None),
+    ("src/simmpi/comment_only.cpp",
+     "// unordered_map in prose must not fire, nor rand() in a string:\n"
+     "const char* s = \"call rand() on an unordered_map\";\n",
+     None),
+    ("src/harness/out_of_scope.cpp",
+     "std::unordered_map<int,int> host_side_ok;\n",
+     None),
+]
+
+
+def self_test() -> int:
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="lint-selftest-") as td:
+        root = pathlib.Path(td)
+        for rel, contents, _ in SEEDED:
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(contents, encoding="utf-8")
+        for rel, _, expected in SEEDED:
+            findings = lint_file(root / rel, rel)
+            rules = {r for r, *_ in findings}
+            if expected is None and rules:
+                failures.append(f"{rel}: expected clean, got {sorted(rules)}")
+            elif expected is not None and expected not in rules:
+                failures.append(
+                    f"{rel}: expected [{expected}] to fire, got "
+                    f"{sorted(rules) or 'nothing'}")
+        # The seeded tree as a whole must fail the full run.
+        if lint_tree(root) == 0:
+            failures.append("seeded tree passed lint_tree — linter is blind")
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}", file=sys.stderr)
+        return 2
+    print("lint_determinism: self-test passed "
+          f"({sum(1 for *_, e in SEEDED if e)} seeded violations caught, "
+          f"{sum(1 for *_, e in SEEDED if e is None)} escapes honored)")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=pathlib.Path,
+                    default=pathlib.Path(__file__).resolve().parent.parent,
+                    help="repo root to lint (default: this script's repo)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the linter catches seeded violations")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    return lint_tree(args.root.resolve())
+
+
+if __name__ == "__main__":
+    sys.exit(main())
