@@ -113,10 +113,12 @@ PatternMeasurement run_pattern(const patterns::Workload& wl,
                                bool dense, Init init) {
   const int p = wl.nranks;
   Engine eng(machine_for(p, cfg), cfg.cost, engine_opts(cfg));
+  if (cfg.faults) eng.set_fault_plan(*cfg.faults);
   std::vector<double> init_elapsed(p, 0.0), block_elapsed(p, 0.0),
       overlap_elapsed(p, 0.0);
   std::vector<mpix::NeighborStats> stats(p);
   std::vector<std::vector<Engine::LinkStats>> link_stats(p);
+  std::vector<Engine::FaultStats> fault_block(p), fault_overlap(p);
 
   eng.run([&](Context& ctx) -> Task<> {
     const int r = ctx.rank();
@@ -127,6 +129,7 @@ PatternMeasurement run_pattern(const patterns::Workload& wl,
 
     mpix::Options mopts;
     mopts.lpt_balance = cfg.lpt_balance;
+    mopts.reliability = cfg.reliability;
     std::shared_ptr<const mpix::PlanBase> cached;  // keeps the plan alive
     if (cacheable) {
       cached = cfg.plans->find_base(key, r);
@@ -163,11 +166,16 @@ PatternMeasurement run_pattern(const patterns::Workload& wl,
     // alignment entering the *next* window (and with it the NIC delivery
     // interleaving), so it runs only when the link cap — and therefore a
     // link footprint worth capturing — is on: cap-off runs keep the
-    // pre-contention program, and their series, bit for bit.
-    if (cfg.cost.use_link_cap) {
+    // pre-contention program, and their series, bit for bit.  A fault
+    // plan needs the same barrier to snapshot the window's fault
+    // counters before the reset clears them; plan-free runs keep the
+    // original program either way (byte-inertness).
+    if (cfg.cost.use_link_cap || cfg.faults) {
       co_await simmpi::coll::barrier(ctx, ctx.world());
       const auto& rs = ctx.engine().stats(r);
-      link_stats[r].assign(rs.link.begin(), rs.link.end());
+      if (cfg.cost.use_link_cap)
+        link_stats[r].assign(rs.link.begin(), rs.link.end());
+      fault_block[r] = rs.faults;
     }
     patterns::clear_recv(buf);
 
@@ -181,6 +189,9 @@ PatternMeasurement run_pattern(const patterns::Workload& wl,
     check("overlapped");
 
     co_await simmpi::coll::barrier(ctx, ctx.world());
+    // Own counters only: this rank's sends were committed before its
+    // waits completed, so the post-barrier read is settled.
+    fault_overlap[r] = ctx.engine().stats(r).faults;
     co_return;
   });
 
@@ -215,6 +226,16 @@ PatternMeasurement run_pattern(const patterns::Workload& wl,
   for (const auto& s : stats)
     for (std::size_t t = 0; t < s.link_msgs.size(); ++t)
       out.sum_link_msgs[t] += s.link_msgs[t];
+  for (int r = 0; r < p; ++r) {
+    out.drops += static_cast<long>(fault_block[r].drops) +
+                 static_cast<long>(fault_overlap[r].drops);
+    out.dups += static_cast<long>(fault_block[r].dups) +
+                static_cast<long>(fault_overlap[r].dups);
+    out.retransmits += static_cast<long>(fault_block[r].retransmits) +
+                       static_cast<long>(fault_overlap[r].retransmits);
+    out.timeouts += static_cast<long>(fault_block[r].timeouts) +
+                    static_cast<long>(fault_overlap[r].timeouts);
+  }
   return out;
 }
 

@@ -73,6 +73,17 @@ struct MeasureConfig {
   /// or measurement repeated on the same hierarchy re-binds cached plans
   /// instead of redoing the aggregation setup communication.
   PlanCache* plans = nullptr;
+  /// Optional fault schedule attached to the engine before the run (see
+  /// simmpi::FaultPlan).  nullptr — the default — keeps the engine's
+  /// byte-inert fault-free hot path, so series without a plan are
+  /// bit-identical to builds that predate fault injection.  The pattern
+  /// runners' sync_reset brackets rewind rank clocks, so time windows in
+  /// the plan apply within each measured window.
+  const simmpi::FaultPlan* faults = nullptr;
+  /// Reliable-delivery knobs forwarded to every collective the runners
+  /// initialize (mpix::Options::reliability).  Off by default; required
+  /// for completion when `faults` drops messages.
+  mpix::Reliability reliability{};
 };
 
 /// Measure one protocol across every level of a distributed hierarchy.
@@ -134,6 +145,14 @@ struct PatternMeasurement {
   /// method's plan (mpix::NeighborStats::link_msgs summed over ranks),
   /// counted whether or not the link cap charges for them.
   std::vector<long> sum_link_msgs;
+  /// Fault-injection and reliability activity of the two measured windows
+  /// (blocking + overlapped), summed over ranks
+  /// (simmpi::Engine::FaultStats).  All zeros without
+  /// MeasureConfig::faults.
+  long drops = 0;
+  long dups = 0;
+  long retransmits = 0;
+  long timeouts = 0;
 };
 
 /// Run one generated workload through a sparse neighbor method

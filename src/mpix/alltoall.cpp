@@ -102,7 +102,7 @@ Task<std::unique_ptr<NeighborAlltoallv>> dense_init_impl(
     case AlltoallMethod::standard: {
       if (opts.plan)
         throw SimError("alltoallv_init: AlltoallMethod::standard takes no plan");
-      co_return impl::make_standard(ctx, graph, std::move(args));
+      co_return impl::make_standard(ctx, graph, std::move(args), opts);
     }
     case AlltoallMethod::node_aggregated: {
       std::shared_ptr<const LocalityPlan> plan;

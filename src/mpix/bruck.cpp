@@ -42,6 +42,7 @@
 
 #include "mpix/detail.hpp"
 #include "mpix/impl.hpp"
+#include "mpix/reliable.hpp"
 
 namespace mpix {
 
@@ -89,6 +90,7 @@ void push_run(std::vector<BruckPlan::Run>& v, long long src, long long dst,
 struct BruckAlltoallv final : NeighborAlltoallv {
   AlltoallvArgs args;
   std::shared_ptr<const BruckPlan> routing;
+  Reliability rel;
 
   std::vector<Request> l_sends, l_recvs;  // direct user-buffer p2p
 
@@ -107,8 +109,15 @@ struct BruckAlltoallv final : NeighborAlltoallv {
   std::vector<Staged> deliver_sends;  // per member: resident -> msg
   std::vector<std::byte> resident_a, resident_b;
   std::vector<std::byte> round_send, round_recv;
+  // Rotation messages cross region (usually network) boundaries, so each
+  // direction of a round gets the reliable wrap independently when
+  // Options::reliability is on (leaders of adjacent regions can share a
+  // node, in which case that direction stays plain).
   struct RoundChan {
+    bool send_wrapped = false, recv_wrapped = false;
     Request send, recv;
+    impl::RelSend rel_send;
+    impl::RelRecv rel_recv;
   };
   std::vector<RoundChan> round_chans;
 
@@ -146,11 +155,24 @@ struct BruckAlltoallv final : NeighborAlltoallv {
       std::span<std::byte> cur = resident_a, nxt = resident_b;
       for (std::size_t k = 0; k < round_chans.size(); ++k) {
         const auto& r = routing->rounds[k];
+        auto& ch = round_chans[k];
         copy_runs(cur, round_send, r.gather, es);
-        round_chans[k].send.start(ctx);
-        round_chans[k].recv.start(ctx);
-        co_await ctx.wait(round_chans[k].send);
-        co_await ctx.wait(round_chans[k].recv);
+        if (ch.send_wrapped)
+          ch.rel_send.start(ctx);
+        else
+          ch.send.start(ctx);
+        if (ch.recv_wrapped)
+          ch.rel_recv.start(ctx);
+        else
+          ch.recv.start(ctx);
+        if (!ch.send_wrapped) co_await ctx.wait(ch.send);
+        if (!ch.recv_wrapped) co_await ctx.wait(ch.recv);
+        // Multiplexed even for a single pair: the recv peer's lost data
+        // may need a retransmit this leader can only trigger by arming
+        // its own ack timer (see reliable.hpp).
+        co_await impl::finish_channels(
+            ctx, rel, {&ch.rel_recv, ch.recv_wrapped ? 1u : 0u},
+            {&ch.rel_send, ch.send_wrapped ? 1u : 0u});
         copy_runs(cur, nxt, r.keep, es);
         copy_runs(round_recv, nxt, r.merge, es);
         std::swap(cur, nxt);
@@ -567,11 +589,11 @@ Task<std::shared_ptr<const BruckPlan>> impl::build_bruck_plan(
 std::unique_ptr<NeighborAlltoallv> impl::bind_bruck(
     Context& ctx, Comm comm, AlltoallvArgs args,
     std::shared_ptr<const BruckPlan> plan, const Options& opts) {
-  (void)opts;  // binding derives everything from the plan and the args
   {
     const simmpi::DistGraph graph = dense_graph_of(comm);
     detail::validate_args(graph, args, /*need_idx=*/false);
   }
+  if (opts.reliability.enabled) impl::validate_reliability(opts.reliability);
   if (plan->binding_fingerprint != 0 &&
       plan->binding_fingerprint !=
           detail::binding_fingerprint(comm, ctx.engine().machine()))
@@ -587,11 +609,16 @@ std::unique_ptr<NeighborAlltoallv> impl::bind_bruck(
   auto obj = std::make_unique<BruckAlltoallv>();
   obj->args = std::move(args);
   obj->routing = plan;
+  obj->rel = opts.reliability;
 
   const int tag_l = ctx.engine().next_coll_tag(comm);
   const int tag_f = ctx.engine().next_coll_tag(comm);
   const int tag_b = ctx.engine().next_coll_tag(comm);
   const int tag_d = ctx.engine().next_coll_tag(comm);
+  // Minted unconditionally when reliability is on so every rank's tag
+  // sequence stays uniform, leaders or not.
+  const int tag_back =
+      opts.reliability.enabled ? ctx.engine().next_coll_tag(comm) : -1;
 
   for (const auto& m : p.l_sends)
     obj->l_sends.push_back(Request::send(
@@ -620,16 +647,22 @@ std::unique_ptr<NeighborAlltoallv> impl::bind_bruck(
     obj->round_recv.resize(static_cast<std::size_t>(p.round_recv_max) * es);
     for (const auto& r : p.rounds) {
       BruckAlltoallv::RoundChan ch;
-      ch.send = Request::send(
-          comm,
-          std::span<const std::byte>(obj->round_send)
-              .first(static_cast<std::size_t>(r.send_values) * es),
-          r.send_peer, tag_b);
-      ch.recv = Request::recv(
-          comm,
-          std::span<std::byte>(obj->round_recv)
-              .first(static_cast<std::size_t>(r.recv_values) * es),
-          r.recv_peer, tag_b);
+      auto sseg = std::span<const std::byte>(obj->round_send)
+                      .first(static_cast<std::size_t>(r.send_values) * es);
+      auto rseg = std::span<std::byte>(obj->round_recv)
+                      .first(static_cast<std::size_t>(r.recv_values) * es);
+      ch.send_wrapped =
+          impl::wrap_channel(comm, r.send_peer, sseg.size(), obj->rel);
+      ch.recv_wrapped =
+          impl::wrap_channel(comm, r.recv_peer, rseg.size(), obj->rel);
+      if (ch.send_wrapped)
+        ch.rel_send = impl::RelSend(comm, sseg, r.send_peer, tag_b, tag_back);
+      else
+        ch.send = Request::send(comm, sseg, r.send_peer, tag_b);
+      if (ch.recv_wrapped)
+        ch.rel_recv = impl::RelRecv(comm, rseg, r.recv_peer, tag_b, tag_back);
+      else
+        ch.recv = Request::recv(comm, rseg, r.recv_peer, tag_b);
       obj->round_chans.push_back(std::move(ch));
     }
     for (const auto& f : p.fill_recvs) {

@@ -23,10 +23,13 @@ simmpi::Task<std::shared_ptr<const LocalityPlan>> build_locality_plan(
     simmpi::Context& ctx, const simmpi::DistGraph& graph, AlltoallvArgs args,
     Method method, Options opts);
 
-/// Standard method: persistent point-to-point wrap.  Purely local setup.
+/// Standard method: persistent point-to-point wrap.  Purely local setup
+/// (with `opts.reliability.enabled`, network channels get the reliable
+/// stop-and-wait wrap — see reliable.hpp).
 std::unique_ptr<NeighborAlltoallv> make_standard(simmpi::Context& ctx,
                                                  const simmpi::DistGraph& graph,
-                                                 AlltoallvArgs args);
+                                                 AlltoallvArgs args,
+                                                 const Options& opts);
 
 /// Locality methods: bind buffers and channels to a finished plan.  Purely
 /// local — all setup communication already happened in make_locality_plan.

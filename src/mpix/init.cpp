@@ -32,7 +32,7 @@ simmpi::Task<std::unique_ptr<NeighborAlltoallv>> init_impl(
     if (opts.plan)
       throw SimError(
           "neighbor_alltoallv_init: Method::standard takes no locality plan");
-    co_return impl::make_standard(ctx, graph, std::move(args));
+    co_return impl::make_standard(ctx, graph, std::move(args), opts);
   }
   std::shared_ptr<const LocalityPlan> plan;
   if (opts.plan) {

@@ -28,6 +28,7 @@
 
 #include "mpix/detail.hpp"
 #include "mpix/impl.hpp"
+#include "mpix/reliable.hpp"
 #include "util/flat_map.hpp"
 
 namespace mpix {
@@ -80,9 +81,14 @@ void copy_values(std::span<const std::byte> from, std::span<const int> src,
 struct LocalityNeighbor final : NeighborAlltoallv {
   AlltoallvArgs args;
   std::shared_ptr<const LocalityPlan> routing;
+  Reliability rel;
   std::vector<std::byte> s_stage, g_stage;
   std::vector<Request> l_sends, l_recvs;  // direct user-buffer p2p
   std::vector<Request> g_sends, g_recvs;  // direct stage-buffer p2p
+  // Inter-region channels under Options::reliability (only the g phase
+  // crosses the network; l/s/r traffic is intra-node and never dropped).
+  std::vector<impl::RelSend> rel_g_sends;
+  std::vector<impl::RelRecv> rel_g_recvs;
   std::vector<BoundGather> s_sends, r_sends;
   std::vector<BoundScatter> s_recvs, r_recvs;
 
@@ -106,7 +112,9 @@ struct LocalityNeighbor final : NeighborAlltoallv {
     for (auto& m : s_sends) co_await ctx.wait(m.req);
     // Inter-region messages.
     for (auto& r : g_sends) r.start(ctx);
+    for (auto& r : rel_g_sends) r.start(ctx);
     for (auto& r : g_recvs) r.start(ctx);
+    for (auto& r : rel_g_recvs) r.start(ctx);
     co_return;
   }
 
@@ -117,6 +125,9 @@ struct LocalityNeighbor final : NeighborAlltoallv {
     for (auto& r : l_recvs) co_await ctx.wait(r);
     for (auto& r : g_recvs) co_await ctx.wait(r);
     for (auto& r : g_sends) co_await ctx.wait(r);
+    // Multiplexed: sequential per-channel finishing can deadlock across
+    // leaders on dropped messages (see reliable.hpp).
+    co_await impl::finish_channels(ctx, rel, rel_g_recvs, rel_g_sends);
     // Final redistribution.
     for (auto& m : r_sends) {
       gather_into(g_stage, es, m.gather, m.buf);
@@ -521,8 +532,8 @@ Task<std::shared_ptr<const LocalityPlan>> impl::build_locality_plan(
 std::unique_ptr<NeighborAlltoallv> impl::bind_locality(
     Context& ctx, const simmpi::DistGraph& graph, AlltoallvArgs args,
     std::shared_ptr<const LocalityPlan> plan, const Options& opts) {
-  (void)opts;  // binding derives everything from the plan and the args
   detail::validate_plan_args(*plan, graph, args);
+  if (opts.reliability.enabled) impl::validate_reliability(opts.reliability);
   const Comm& comm = graph.comm;
   const std::size_t es = args.element_size;
   const LocalityPlan& p = *plan;
@@ -530,6 +541,7 @@ std::unique_ptr<NeighborAlltoallv> impl::bind_locality(
   auto obj = std::make_unique<LocalityNeighbor>();
   obj->args = std::move(args);
   obj->routing = plan;
+  obj->rel = opts.reliability;
   obj->s_stage.resize(p.s_stage_values * es);
   obj->g_stage.resize(p.g_stage_values * es);
 
@@ -537,6 +549,10 @@ std::unique_ptr<NeighborAlltoallv> impl::bind_locality(
   const int tag_s = ctx.engine().next_coll_tag(comm);
   const int tag_g = ctx.engine().next_coll_tag(comm);
   const int tag_r = ctx.engine().next_coll_tag(comm);
+  // Minted unconditionally when reliability is on so every rank's tag
+  // sequence stays uniform, leaders or not.
+  const int tag_gack =
+      opts.reliability.enabled ? ctx.engine().next_coll_tag(comm) : -1;
 
   for (const auto& m : p.l_sends)
     obj->l_sends.push_back(Request::send(
@@ -547,17 +563,24 @@ std::unique_ptr<NeighborAlltoallv> impl::bind_locality(
         comm, obj->args.recvbuf.subspan(m.displ * es, m.count * es), m.peer,
         tag_l));
 
-  for (const auto& m : p.g_sends)
-    obj->g_sends.push_back(Request::send(
-        comm,
-        std::span<const std::byte>(obj->s_stage)
-            .subspan(m.offset * es, m.count * es),
-        m.peer, tag_g));
-  for (const auto& m : p.g_recvs)
-    obj->g_recvs.push_back(Request::recv(
-        comm,
-        std::span<std::byte>(obj->g_stage).subspan(m.offset * es, m.count * es),
-        m.peer, tag_g));
+  for (const auto& m : p.g_sends) {
+    auto seg = std::span<const std::byte>(obj->s_stage)
+                   .subspan(m.offset * es, m.count * es);
+    if (impl::wrap_channel(comm, m.peer, seg.size(), obj->rel))
+      obj->rel_g_sends.push_back(
+          impl::RelSend(comm, seg, m.peer, tag_g, tag_gack));
+    else
+      obj->g_sends.push_back(Request::send(comm, seg, m.peer, tag_g));
+  }
+  for (const auto& m : p.g_recvs) {
+    auto seg = std::span<std::byte>(obj->g_stage)
+                   .subspan(m.offset * es, m.count * es);
+    if (impl::wrap_channel(comm, m.peer, seg.size(), obj->rel))
+      obj->rel_g_recvs.push_back(
+          impl::RelRecv(comm, seg, m.peer, tag_g, tag_gack));
+    else
+      obj->g_recvs.push_back(Request::recv(comm, seg, m.peer, tag_g));
+  }
 
   auto bind_gather = [&](const LocalityPlan::GatherMsg& m, int tag) {
     BoundGather b;

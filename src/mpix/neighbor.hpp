@@ -275,6 +275,28 @@ class NeighborAlltoallv {
   virtual std::shared_ptr<const PlanBase> plan_base() const { return plan(); }
 };
 
+/// Opt-in reliable delivery for the persistent collectives: every
+/// *network* data channel carries a per-channel sequence number, the
+/// receiver acknowledges each payload with a control message, and the
+/// sender retransmits on a virtual-time timeout with exponential backoff
+/// (built on simmpi::Context::wait_until).  With a FaultPlan dropping or
+/// duplicating messages, recvbufs stay byte-identical to the fault-free
+/// run — up to the configured retry budget.  Intra-node channels are
+/// never wrapped: the fault model only drops network messages.
+/// Must be set uniformly across the ranks of a collective (like every
+/// option that shapes the message schedule).
+struct Reliability {
+  bool enabled = false;
+  /// Virtual seconds from posting a send until the first retransmit.
+  /// Choose comfortably above the expected network round trip, or the
+  /// protocol retransmits spuriously (correct, but noisy and slow).
+  double timeout = 1e-3;
+  /// Timeout multiplier per successive retransmit (>= 1).
+  double backoff = 2.0;
+  /// Retransmits per message before giving up with a SimError (>= 1).
+  int max_retries = 16;
+};
+
 /// Tunable knobs of `neighbor_alltoallv_init`.
 struct Options {
   /// Leader assignment strategy of the locality methods: true =
@@ -293,6 +315,10 @@ struct Options {
   /// throws.  `lpt_balance`/`setup_compute_per_word` are ignored on reuse
   /// (the plan keeps the values it was built with).
   const PlanBase* plan = nullptr;
+  /// Reliable delivery over network channels (see Reliability).  Purely a
+  /// binding-time property — plans are reliability-agnostic and reusable
+  /// either way.
+  Reliability reliability{};
 };
 
 // Options is frequently written as a braced temporary inside co_await'd

@@ -1,0 +1,215 @@
+/// \file reliable.cpp
+/// \brief Stop-and-wait reliable channel wrappers (see reliable.hpp).
+
+#include "mpix/reliable.hpp"
+
+#include <cstring>
+#include <string>
+
+namespace mpix::impl {
+
+using simmpi::Context;
+using simmpi::Request;
+using simmpi::SimError;
+using simmpi::Task;
+
+void validate_reliability(const Reliability& rel) {
+  if (!(rel.timeout > 0.0))
+    throw SimError("Reliability::timeout must be > 0, got " +
+                   std::to_string(rel.timeout));
+  if (!(rel.backoff >= 1.0))
+    throw SimError("Reliability::backoff must be >= 1, got " +
+                   std::to_string(rel.backoff));
+  if (rel.max_retries < 1)
+    throw SimError("Reliability::max_retries must be >= 1, got " +
+                   std::to_string(rel.max_retries));
+}
+
+bool wrap_channel(const simmpi::Comm& comm, int peer, std::size_t bytes,
+                  const Reliability& rel) {
+  return rel.enabled && bytes > 0 &&
+         comm.locality_of(peer) == simmpi::Locality::network;
+}
+
+// ---- RelSend --------------------------------------------------------
+
+RelSend::RelSend(const simmpi::Comm& comm, std::span<const std::byte> payload,
+                 int peer, int data_tag, int ack_tag)
+    : payload_(payload), stage_(kRelHeaderBytes + payload.size() +
+                                kRelHeaderBytes) {
+  data_ = Request::send(
+      comm, std::span<const std::byte>(stage_.data(), kRelHeaderBytes + payload.size()),
+      peer, data_tag);
+  ack_ = Request::recv(comm, std::span<std::byte>(ack_data(), kRelHeaderBytes),
+                       peer, ack_tag);
+}
+
+void RelSend::start(Context& ctx) {
+  ++seq_;
+  done_ = false;
+  retries_ = 0;
+  std::memcpy(stage_.data(), &seq_, sizeof(seq_));
+  if (!payload_.empty())
+    std::memcpy(stage_.data() + kRelHeaderBytes, payload_.data(),
+                payload_.size());
+  data_.start(ctx);
+  ack_.start(ctx);
+}
+
+Task<> RelSend::init(Context& ctx, const Reliability& rel) {
+  co_await ctx.wait(data_);
+  timeout_ = rel.timeout;
+  deadline_ = ctx.now() + timeout_;
+}
+
+void RelSend::handle_ack(Context& ctx) {
+  std::uint32_t acked = 0;
+  std::memcpy(&acked, ack_data(), sizeof(acked));
+  if (acked == seq_) {
+    done_ = true;
+    return;
+  }
+  if (acked > seq_)
+    throw SimError("reliable send rank " + std::to_string(ctx.rank()) +
+                   ": ack for future seq " + std::to_string(acked) +
+                   " (current " + std::to_string(seq_) + ") from peer " +
+                   std::to_string(data_.peer()));
+  // Stale ack of an already-confirmed sequence (duplicated ack or a late
+  // ack overtaken by a retransmit round): keep listening.
+  ack_.start(ctx);
+}
+
+Task<> RelSend::poll(Context& ctx) {
+  co_await ctx.wait(ack_);
+  handle_ack(ctx);
+}
+
+Task<> RelSend::step_park(Context& ctx, const Reliability& rel) {
+  const bool got = co_await ctx.wait_until(ack_, deadline_);
+  if (got) {
+    handle_ack(ctx);
+    co_return;
+  }
+  if (++retries_ > rel.max_retries)
+    throw SimError("reliable send rank " + std::to_string(ctx.rank()) +
+                   ": no ack from peer " + std::to_string(data_.peer()) +
+                   " tag " + std::to_string(data_.tag()) + " seq " +
+                   std::to_string(seq_) + " after " +
+                   std::to_string(rel.max_retries) + " retransmits");
+  // Timed out: the ack receive stays armed; repost the data message.
+  ctx.engine().note_retransmit(ctx.rank());
+  data_.start(ctx);
+  co_await ctx.wait(data_);
+  timeout_ *= rel.backoff;
+  deadline_ = ctx.now() + timeout_;
+}
+
+// ---- RelRecv --------------------------------------------------------
+
+RelRecv::RelRecv(const simmpi::Comm& comm, std::span<std::byte> out, int peer,
+                 int data_tag, int ack_tag)
+    : out_(out),
+      stage_(kRelHeaderBytes + out.size() + kRelHeaderBytes) {
+  data_ = Request::recv(
+      comm, std::span<std::byte>(stage_.data(), kRelHeaderBytes + out.size()),
+      peer, data_tag);
+  ack_ = Request::send(
+      comm, std::span<const std::byte>(ack_data(), kRelHeaderBytes), peer,
+      ack_tag);
+  ack_.set_control(true);
+}
+
+void RelRecv::start(Context& ctx) {
+  done_ = false;
+  data_.start(ctx);
+}
+
+Task<> RelRecv::pump(Context& ctx) {
+  co_await ctx.wait(data_);
+  std::uint32_t seq = 0;
+  std::memcpy(&seq, stage_.data(), sizeof(seq));
+  if (seq > expected_)
+    throw SimError("reliable recv rank " + std::to_string(ctx.rank()) +
+                   ": got seq " + std::to_string(seq) + " expecting " +
+                   std::to_string(expected_) + " from peer " +
+                   std::to_string(data_.peer()) +
+                   " (message lost without reliability retransmit?)");
+  if (seq < expected_) {
+    // Stale duplicate or retransmit of an already-acknowledged sequence.
+    data_.start(ctx);
+    co_return;
+  }
+  if (!out_.empty())
+    std::memcpy(out_.data(), stage_.data() + kRelHeaderBytes, out_.size());
+  std::memcpy(ack_data(), &expected_, sizeof(expected_));
+  ack_.start(ctx);
+  co_await ctx.wait(ack_);
+  ++expected_;
+  done_ = true;
+  // Drain retransmit/duplicate debris already committed for the sequence
+  // just acknowledged: retransmissions fire only under global quiescence,
+  // and once our ack commits the sender never goes quiescent on this
+  // sequence again, so every copy of it is committed by now.
+  while (ctx.engine().has_message(data_.key())) {
+    data_.start(ctx);
+    co_await ctx.wait(data_);
+    std::uint32_t s = 0;
+    std::memcpy(&s, stage_.data(), sizeof(s));
+    if (s >= expected_)
+      throw SimError("reliable recv rank " + std::to_string(ctx.rank()) +
+                     ": drained seq " + std::to_string(s) +
+                     " >= next expected " + std::to_string(expected_) +
+                     " from peer " + std::to_string(data_.peer()));
+  }
+}
+
+// ---- driver ---------------------------------------------------------
+
+Task<> finish_channels(Context& ctx, const Reliability& rel,
+                       std::span<RelRecv> recvs, std::span<RelSend> sends) {
+  for (auto& s : sends) co_await s.init(ctx, rel);
+  for (;;) {
+    // Consume everything already committed, in deterministic (receive
+    // order, then send order) sequence — the committed state a resumption
+    // observes is a pure function of the schedule, so this sweep is as
+    // width-free as the rest of the engine.
+    bool open = false;
+    bool progress = false;
+    for (auto& r : recvs) {
+      while (!r.done() && ctx.engine().has_message(r.data_key())) {
+        co_await r.pump(ctx);
+        progress = true;
+      }
+      open = open || !r.done();
+    }
+    for (auto& s : sends) {
+      if (!s.done() && ctx.engine().has_message(s.ack_key())) {
+        co_await s.poll(ctx);
+        progress = true;
+      }
+      open = open || !s.done();
+    }
+    if (!open) co_return;
+    if (progress) continue;
+    // Nothing consumable.  Park on the earliest retransmit deadline this
+    // rank owes; with no send open, block on the first open receive — its
+    // sender still owes an ack-timer of its own, and the retransmission
+    // it fires wakes us.
+    RelSend* due = nullptr;
+    for (auto& s : sends)
+      if (!s.done() && (due == nullptr || s.deadline() < due->deadline()))
+        due = &s;
+    if (due != nullptr) {
+      co_await due->step_park(ctx, rel);
+    } else {
+      for (auto& r : recvs) {
+        if (!r.done()) {
+          co_await r.pump(ctx);
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mpix::impl

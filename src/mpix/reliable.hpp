@@ -1,0 +1,152 @@
+#pragma once
+/// \file reliable.hpp
+/// \brief Internal reliable-delivery channel wrappers (Options::reliability).
+///
+/// One `RelSend`/`RelRecv` pair replaces one persistent network channel of
+/// a collective with a stop-and-wait protocol:
+///
+///   * every data message carries an 8-byte header (a 32-bit per-channel
+///     sequence number) in front of the payload, staged in a buffer owned
+///     by the wrapper;
+///   * the receiver consumes the expected sequence (discarding stale
+///     duplicates and retransmit debris), copies the payload into the
+///     bound span, and posts an 8-byte *control* acknowledgement — exempt
+///     from drop/duplication under FaultPlan::protect_control, so the
+///     protocol terminates;
+///   * the sender awaits the ack with a virtual-time timeout
+///     (Context::wait_until) and retransmits with exponential backoff,
+///     giving up with a SimError after Reliability::max_retries.
+///
+/// A collective completes its reliable channels with `finish_channels`,
+/// which multiplexes every open channel instead of finishing them one by
+/// one.  Sequential finishing deadlocks: a rank blocked receiving a
+/// dropped message never reaches its own sends' retransmit timers, and
+/// such waits can cycle across ranks (A awaits B's retransmit, B awaits
+/// C's, C awaits A's).  The driver polls all channels for committed
+/// messages, and when nothing is consumable parks on the earliest
+/// retransmit deadline this rank owes — so every dropped message's
+/// retransmission is armed the moment its sender goes idle, regardless of
+/// what else the rank still has open.  For every open receive the matching
+/// send on the peer rank is still open too (no ack without consumption),
+/// so globally some rank always holds a timer: no deadlock.
+///
+/// Zero-allocation: stage buffers and requests are sized at construction;
+/// start and the driver steps perform no allocation (coroutine frames come
+/// from the pooled frame allocator), so the PR 5 steady-state guarantee
+/// holds with reliability enabled (EngineAlloc suite).
+///
+/// Not part of the mpix API.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mpix/neighbor.hpp"
+#include "simmpi/engine.hpp"
+
+namespace mpix::impl {
+
+/// Bytes prepended to every reliable data message (32-bit sequence number
+/// padded to preserve 8-byte payload alignment); also the size of an ack.
+inline constexpr std::size_t kRelHeaderBytes = 8;
+
+/// Validate reliability knobs, naming field and value in the SimError.
+void validate_reliability(const Reliability& rel);
+
+/// Whether a channel to `peer` moving `bytes` payload bytes should be
+/// wrapped: reliability on, payload non-empty (zero-byte messages are
+/// never dropped), and the pair crosses the network (intra-node messages
+/// are never dropped either).  Symmetric in the pair, so both endpoints
+/// agree without communicating.
+bool wrap_channel(const simmpi::Comm& comm, int peer, std::size_t bytes,
+                  const Reliability& rel);
+
+/// Sender half of one reliable channel.  Driven by `finish_channels`.
+class RelSend {
+ public:
+  RelSend() = default;
+  /// `payload` is the persistent span the collective would otherwise send
+  /// directly; its *current* bytes are staged at each start().
+  RelSend(const simmpi::Comm& comm, std::span<const std::byte> payload,
+          int peer, int data_tag, int ack_tag);
+
+  /// Stage header + payload and post the data message; arms the ack
+  /// receive.  Call once per collective start.
+  void start(simmpi::Context& ctx);
+
+  bool done() const { return done_; }
+  int peer() const { return data_.peer(); }
+  simmpi::ChannelKey ack_key() const { return ack_.key(); }
+  double deadline() const { return deadline_; }
+
+  /// Await the initial data transmission's local completion and arm the
+  /// first retransmit deadline.  Driver calls it once per collective.
+  simmpi::Task<> init(simmpi::Context& ctx, const Reliability& rel);
+  /// Consume one committed ack (precondition: Engine::has_message on
+  /// ack_key()): expected -> done, stale -> re-arm, future -> SimError.
+  simmpi::Task<> poll(simmpi::Context& ctx);
+  /// Park until the ack arrives or the retransmit deadline fires; on
+  /// timeout retransmit with backoff, giving up after max_retries.
+  simmpi::Task<> step_park(simmpi::Context& ctx, const Reliability& rel);
+
+ private:
+  std::byte* ack_data() { return stage_.data() + stage_.size() - kRelHeaderBytes; }
+  void handle_ack(simmpi::Context& ctx);
+
+  std::span<const std::byte> payload_{};
+  /// [header | payload copy | ack slot].  One heap block so the request
+  /// spans bound at construction stay valid when the wrapper is moved
+  /// (vector storage keeps its address; an inline array would not).
+  std::vector<std::byte> stage_;
+  simmpi::Request data_{};
+  simmpi::Request ack_{};
+  std::uint32_t seq_ = 0;
+  bool done_ = false;
+  int retries_ = 0;
+  double timeout_ = 0.0;
+  double deadline_ = 0.0;
+};
+
+/// Receiver half of one reliable channel.  Driven by `finish_channels`.
+class RelRecv {
+ public:
+  RelRecv() = default;
+  /// `out` is the span the collective would otherwise receive into.
+  RelRecv(const simmpi::Comm& comm, std::span<std::byte> out, int peer,
+          int data_tag, int ack_tag);
+
+  /// Arm the persistent data receive.  Call once per collective start.
+  void start(simmpi::Context& ctx);
+
+  bool done() const { return done_; }
+  int peer() const { return data_.peer(); }
+  simmpi::ChannelKey data_key() const { return data_.key(); }
+
+  /// Consume one data message (parks if none is committed yet): stale
+  /// duplicates and retransmit debris are discarded and the receive
+  /// re-armed; the expected sequence is copied into the bound span,
+  /// acknowledged, and already-committed debris drained.
+  simmpi::Task<> pump(simmpi::Context& ctx);
+
+ private:
+  std::byte* ack_data() { return stage_.data() + stage_.size() - kRelHeaderBytes; }
+
+  std::span<std::byte> out_{};
+  /// [header | payload landing | ack slot]; same move-safety layout as
+  /// RelSend::stage_.
+  std::vector<std::byte> stage_;
+  simmpi::Request data_{};
+  simmpi::Request ack_{};
+  std::uint32_t expected_ = 1;
+  bool done_ = false;
+};
+
+/// Complete every channel of one collective wait: multiplex acks, data,
+/// retransmit timers and debris draining across all of them (see the file
+/// brief for why sequential finishing would deadlock).  Empty spans are
+/// fine; plain (unwrapped) requests are the caller's business.
+simmpi::Task<> finish_channels(simmpi::Context& ctx, const Reliability& rel,
+                               std::span<RelRecv> recvs,
+                               std::span<RelSend> sends);
+
+}  // namespace mpix::impl

@@ -3,6 +3,7 @@
 
 #include "mpix/detail.hpp"
 #include "mpix/impl.hpp"
+#include "mpix/reliable.hpp"
 
 namespace mpix {
 
@@ -15,12 +16,17 @@ using simmpi::Task;
 class StandardNeighbor final : public NeighborAlltoallv {
  public:
   StandardNeighbor(Context& ctx, const simmpi::DistGraph& graph,
-                   AlltoallvArgs args)
-      : args_(std::move(args)) {
+                   AlltoallvArgs args, const Options& opts)
+      : args_(std::move(args)), rel_(opts.reliability) {
     detail::validate_args(graph, args_, /*need_idx=*/false);
+    if (rel_.enabled) impl::validate_reliability(rel_);
     const simmpi::Comm& comm = graph.comm;
     const std::size_t es = args_.element_size;
     const int tag = ctx.engine().next_coll_tag(comm);
+    // Ack traffic gets its own tag, minted unconditionally when the
+    // feature is on so every rank's tag sequence stays uniform.
+    const int ack_tag =
+        rel_.enabled ? ctx.engine().next_coll_tag(comm) : -1;
     const auto& machine = ctx.engine().machine();
     const int my_region = machine.region_of(comm.global(comm.rank()));
 
@@ -29,7 +35,10 @@ class StandardNeighbor final : public NeighborAlltoallv {
       const int dst = graph.destinations[i];
       auto seg =
           args_.sendbuf.subspan(args_.sdispls[i] * es, args_.sendcounts[i] * es);
-      sends_.push_back(Request::send(comm, seg, dst, tag));
+      if (impl::wrap_channel(comm, dst, seg.size(), rel_))
+        rel_sends_.push_back(impl::RelSend(comm, seg, dst, tag, ack_tag));
+      else
+        sends_.push_back(Request::send(comm, seg, dst, tag));
       const bool global = machine.region_of(comm.global(dst)) != my_region;
       if (global) {
         ++stats_.global_msgs;
@@ -47,21 +56,30 @@ class StandardNeighbor final : public NeighborAlltoallv {
     }
     recvs_.reserve(graph.sources.size());
     for (std::size_t i = 0; i < graph.sources.size(); ++i) {
+      const int src = graph.sources[i];
       auto seg =
           args_.recvbuf.subspan(args_.rdispls[i] * es, args_.recvcounts[i] * es);
-      recvs_.push_back(Request::recv(comm, seg, graph.sources[i], tag));
+      if (impl::wrap_channel(comm, src, seg.size(), rel_))
+        rel_recvs_.push_back(impl::RelRecv(comm, seg, src, tag, ack_tag));
+      else
+        recvs_.push_back(Request::recv(comm, seg, src, tag));
     }
   }
 
   Task<> start(Context& ctx) override {
     for (auto& s : sends_) s.start(ctx);
+    for (auto& s : rel_sends_) s.start(ctx);
     for (auto& r : recvs_) r.start(ctx);
+    for (auto& r : rel_recvs_) r.start(ctx);
     co_return;
   }
 
   Task<> wait(Context& ctx) override {
     for (auto& s : sends_) co_await ctx.wait(s);
     for (auto& r : recvs_) co_await ctx.wait(r);
+    // Multiplexed: sequential per-channel finishing can deadlock across
+    // ranks on dropped messages (see reliable.hpp).
+    co_await impl::finish_channels(ctx, rel_, rel_recvs_, rel_sends_);
   }
 
   NeighborStats stats() const override { return stats_; }
@@ -69,16 +87,20 @@ class StandardNeighbor final : public NeighborAlltoallv {
 
  private:
   AlltoallvArgs args_;
+  Reliability rel_;
   std::vector<Request> sends_;
   std::vector<Request> recvs_;
+  std::vector<impl::RelSend> rel_sends_;
+  std::vector<impl::RelRecv> rel_recvs_;
   NeighborStats stats_;
 };
 
 }  // namespace
 
 std::unique_ptr<NeighborAlltoallv> impl::make_standard(
-    Context& ctx, const simmpi::DistGraph& graph, AlltoallvArgs args) {
-  return std::make_unique<StandardNeighbor>(ctx, graph, std::move(args));
+    Context& ctx, const simmpi::DistGraph& graph, AlltoallvArgs args,
+    const Options& opts) {
+  return std::make_unique<StandardNeighbor>(ctx, graph, std::move(args), opts);
 }
 
 }  // namespace mpix

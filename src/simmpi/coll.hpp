@@ -10,6 +10,14 @@
 /// commutative.
 ///
 /// Values of type `T` must be trivially copyable.
+///
+/// Every payload-bearing send here is marked *control* traffic
+/// (Request::set_control): these primitives carry setup metadata and
+/// synchronization, not workload payload, and losing one would deadlock
+/// the collective.  Under a FaultPlan with the default
+/// `protect_control`, drop/duplication therefore applies to the data
+/// channels of the persistent collectives — the layer that can opt into
+/// reliable delivery — and never to the scaffolding underneath it.
 
 #include <algorithm>
 #include <cstring>
@@ -47,6 +55,7 @@ template <class T>
 Task<> send_val(Context& ctx, Comm comm, int peer, T v, int tag) {
   static_assert(std::is_trivially_copyable_v<T>);
   auto s = Request::send(comm, detail::one_as_bytes(v), peer, tag);
+  s.set_control(true);
   s.start(ctx);
   co_await ctx.wait(s);
 }
@@ -68,6 +77,7 @@ Task<T> sendrecv_val(Context& ctx, Comm comm, int peer, T v, int tag) {
   static_assert(std::is_trivially_copyable_v<T>);
   T in{};
   auto s = Request::send(comm, detail::one_as_bytes(v), peer, tag);
+  s.set_control(true);
   auto r = Request::recv(comm, detail::one_as_writable(in), peer, tag);
   s.start(ctx);
   r.start(ctx);
@@ -125,6 +135,7 @@ Task<> bcast(Context& ctx, Comm comm, std::vector<T>& data, int root) {
     if (child != vr && child < p) {
       auto s = Request::send(comm, detail::vec_as_bytes(data),
                              (child + root) % p, tag);
+      s.set_control(true);
       s.start(ctx);
       co_await ctx.wait(s);
     }
@@ -183,6 +194,7 @@ Task<std::vector<T>> allgather(Context& ctx, Comm comm, T mine) {
       std::vector<T> in(nblk);
       auto s = Request::send(
           comm, std::as_bytes(std::span<const T>(acc.data(), nblk)), dst, tag);
+      s.set_control(true);
       auto rr = Request::recv(comm, detail::vec_as_writable(in), src, tag);
       s.start(ctx);
       rr.start(ctx);
@@ -232,6 +244,7 @@ Task<std::vector<T>> allgatherv(Context& ctx, Comm comm, std::vector<T> mine,
       auto s = Request::send(
           comm, std::as_bytes(std::span<const T>(acc.data(), send_elems)), dst,
           tag);
+      s.set_control(true);
       auto rr = Request::recv(comm, detail::vec_as_writable(in), src, tag);
       s.start(ctx);
       rr.start(ctx);
@@ -275,6 +288,7 @@ Task<T> exscan(Context& ctx, Comm comm, T val, F op, T init) {
     Request s, rr;
     if (r + 1 < p) {
       s = Request::send(comm, detail::one_as_bytes(val), r + 1, tag);
+      s.set_control(true);
       s.start(ctx);
     }
     if (r > 0) {
@@ -293,6 +307,7 @@ Task<T> exscan(Context& ctx, Comm comm, T val, F op, T init) {
     Partial in{};
     if (r + k < p) {
       s = Request::send(comm, detail::one_as_bytes(cur), r + k, tag + 1);
+      s.set_control(true);
       s.start(ctx);
     }
     if (r - k >= 0) {
@@ -327,6 +342,7 @@ Task<std::vector<std::vector<T>>> alltoallv(
     const int dst = (r + k) % p;
     const int src = (r - k + p) % p;
     auto s = Request::send(comm, detail::vec_as_bytes(sendto[dst]), dst, tag);
+    s.set_control(true);
     auto rr = Request::recv_dyn(comm, src, tag);
     s.start(ctx);
     rr.start(ctx);

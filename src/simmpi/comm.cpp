@@ -45,7 +45,7 @@ void Request::start(Context& ctx) {
   if (!comm_.valid()) throw SimError("Request::start: invalid request");
   started_ = true;
   if (is_send_) {
-    ctx.engine().post_send(comm_, comm_.rank(), peer_, tag_, sbuf_);
+    ctx.engine().post_send(comm_, comm_.rank(), peer_, tag_, sbuf_, control_);
   }
 }
 

@@ -106,6 +106,12 @@ class Request {
 
   bool is_send() const { return is_send_; }
   bool started() const { return started_; }
+  /// Mark a send request as *control* traffic (protocol acknowledgements,
+  /// not payload).  With `FaultPlan::protect_control` (the default),
+  /// control messages are exempt from drop/duplication so reliable
+  /// delivery terminates.  No effect on receives or on fault-free runs.
+  void set_control(bool c) { control_ = c; }
+  bool is_control() const { return control_; }
   const Comm& comm() const { return comm_; }
   int peer() const { return peer_; }
   int tag() const { return tag_; }
@@ -129,6 +135,7 @@ class Request {
   bool is_send_ = false;
   bool dyn_ = false;
   bool started_ = false;
+  bool control_ = false;
   std::size_t received_ = 0;
 };
 

@@ -98,6 +98,11 @@ void Engine::run(const RankProgram& program) {
     }
   } guard{*this};
 
+  // Per-run channel accounting (sequence numbers restart per run so the
+  // drop/dup schedule is a function of the run alone, not of engine
+  // history).  clear() keeps the map's storage.
+  if (fault_msgs_) fault_chan_.clear();
+
   const int nranks = machine_.num_ranks();
   std::vector<Context> ctxs;
   ctxs.reserve(nranks);  // reserved once: coroutines hold Context&
@@ -132,7 +137,13 @@ void Engine::run(const RankProgram& program) {
         }
       }
     };
-    while (!ready_.empty()) {
+    for (;;) {
+      // Global quiescence (no rank runnable) is the only point where a
+      // timed park may fire: any message that could still complete the
+      // wait has been committed by now, so "timeout vs arrival" is a pure
+      // function of the schedule.  Earliest (deadline, rank) first, one
+      // per phase, keeps the firing order width-independent too.
+      if (ready_.empty() && !fire_earliest_timeout()) break;
       phase.clear();
       phase.swap(ready_);
       errs.assign(phase.size(), nullptr);
@@ -153,18 +164,36 @@ void Engine::run(const RankProgram& program) {
   bool all_done = true;
   for (auto& t : tasks) all_done = all_done && t.done();
   if (!all_done) {
+    // Quiescence watchdog: no rank can progress, yet messages are owed.
+    // Dump who is blocked where, with per-channel sent-vs-delivered
+    // accounting when fault injection recorded any — a protocol bug or a
+    // swallowed message becomes an actionable error instead of a hang.
     std::ostringstream os;
-    os << "Engine::run: deadlock; ranks blocked on channels:";
+    long unconsumed = 0;
+    for (const auto& rs : rank_) unconsumed += rs.inbox_count;
+    std::uint64_t dropped = 0;
+    for (const auto& [key, cf] : fault_chan_) dropped += cf.dropped;
+    os << "Engine::run: deadlock; no rank can progress and messages are "
+          "owed ("
+       << unconsumed << " committed but unconsumed, " << dropped
+       << " dropped in flight); blocked ranks:";
     int shown = 0;
-    for (auto& rs : rank_) {
+    for (int r = 0; r < nranks; ++r) {
+      const auto& rs = rank_[r];
       if (!rs.parked) continue;
       if (shown++ == 8) {
         os << " ...";
         break;
       }
       const ChannelKey& key = rs.parked_key;
-      os << " [ctx=" << key.ctx << " " << key.src << "->" << key.dst
-         << " tag=" << key.tag << "]";
+      os << " [rank " << r << " waiting on ctx=" << key.ctx << " "
+         << key.src << "->" << key.dst << " tag=" << key.tag;
+      if (const ChanFaultCounts* cf = fault_chan_.find(key)) {
+        os << ": sent=" << cf->sent << " dropped=" << cf->dropped
+           << " duplicated=" << cf->duped
+           << " delivered=" << cf->sent - cf->dropped + cf->duped;
+      }
+      os << "]";
     }
     throw SimError(os.str());  // Guard clears the in-flight state
   }
@@ -186,6 +215,8 @@ void Engine::check_quiescent() {
     // only the error paths pay for a mailbox walk.
     if (rs.inbox_count > 0) rs.reset_mailbox();
     rs.parked = {};
+    rs.parked_deadline = RankState::kNoDeadline;
+    rs.timed_out = false;
     rs.inbox_count = 0;
     rs.journal.clear();
     rs.arena.reset();
@@ -347,7 +378,111 @@ void Engine::commit_phase() {
   }
 }
 
+namespace {
+
+/// Whether a fault window covers a message's departure (all fault kinds
+/// key their window on the sender-side departure time: a value fixed
+/// before the commit step, so window membership can never depend on
+/// queue state).
+bool in_window(const FaultSpec& e, double when) {
+  return when >= e.t_begin && when < e.t_end;
+}
+
+}  // namespace
+
+void Engine::set_fault_plan(FaultPlan plan) {
+  if (running_) throw SimError("Engine::set_fault_plan: engine is running");
+  validate_fault_plan(plan, machine_);
+  // Effects the cost model would silently ignore are configuration
+  // errors: a brownout needs the link cap (and a switch hierarchy with
+  // link tiers), a NIC slowdown the injection cap.
+  for (const auto& e : plan.events) {
+    if (e.kind == FaultSpec::Kind::link_brownout && e.severity < 1.0 &&
+        (!model_.params().use_link_cap || machine_.num_link_tiers() == 0))
+      throw SimError(
+          "FaultPlan: link_brownout requires CostParams::use_link_cap and "
+          "MachineConfig::switch_levels with at least one link tier");
+    if (e.kind == FaultSpec::Kind::nic_slowdown && e.severity < 1.0 &&
+        !model_.params().use_injection_cap)
+      throw SimError(
+          "FaultPlan: nic_slowdown requires CostParams::use_injection_cap");
+  }
+  faults_ = std::move(plan);
+  fault_msgs_ = fault_stalls_ = fault_brownout_ = fault_nic_ = false;
+  for (const auto& e : faults_.events) {
+    switch (e.kind) {
+      case FaultSpec::Kind::msg_drop:
+      case FaultSpec::Kind::msg_dup:
+        fault_msgs_ = fault_msgs_ || e.rate > 0.0;
+        break;
+      case FaultSpec::Kind::link_brownout:
+        fault_brownout_ = fault_brownout_ || e.severity < 1.0;
+        break;
+      case FaultSpec::Kind::nic_slowdown:
+        fault_nic_ = fault_nic_ || e.severity < 1.0;
+        break;
+      case FaultSpec::Kind::compute_stall:
+        fault_stalls_ = fault_stalls_ || e.severity < 1.0;
+        break;
+    }
+  }
+}
+
+double Engine::stall_stretch(int rank, double when) const {
+  double stretch = 1.0;
+  for (const auto& e : faults_.events)
+    if (e.kind == FaultSpec::Kind::compute_stall &&
+        (e.rank < 0 || e.rank == rank) && in_window(e, when))
+      stretch /= e.severity;
+  return stretch;
+}
+
 void Engine::deliver(const PendingSend& ps) {
+  // Fault gate: only payload-bearing network messages are candidates;
+  // control traffic (reliability acks) is exempt under protect_control so
+  // retransmission terminates.  One uniform draw per message decides
+  // drop vs duplicate vs clean delivery — a pure function of (plan seed,
+  // channel, per-channel sequence number), evaluated only here in the
+  // single-threaded commit step.
+  if (fault_msgs_ && ps.loc == Locality::network && ps.size > 0 &&
+      !(ps.control && faults_.protect_control)) {
+    ChanFaultCounts& cf = fault_chan_[ps.key];
+    const std::uint64_t seq = ++cf.sent;
+    double drop_rate = 0.0;
+    double dup_rate = 0.0;
+    for (const auto& e : faults_.events) {
+      if (e.kind != FaultSpec::Kind::msg_drop &&
+          e.kind != FaultSpec::Kind::msg_dup)
+        continue;
+      if (e.rank >= 0 && e.rank != ps.key.src) continue;
+      if (!in_window(e, ps.depart)) continue;
+      (e.kind == FaultSpec::Kind::msg_drop ? drop_rate : dup_rate) += e.rate;
+    }
+    if (drop_rate > 0.0 || dup_rate > 0.0) {
+      const double u = fault_uniform(faults_.seed, ps.key, seq);
+      if (u < drop_rate) {
+        // Lost at injection: no queue is charged, the payload chunk is
+        // released, the receiver sees nothing.
+        ++stats_[ps.key.src].faults.drops;
+        ++cf.dropped;
+        if (ps.chunk != nullptr) util::Arena::release(ps.chunk);
+        return;
+      }
+      if (u < drop_rate + dup_rate) {
+        // Duplicate: a second copy of the same payload bytes traverses —
+        // and is charged by — the network independently.  Both copies
+        // share one arena chunk; each delivery releases one reference.
+        ++stats_[ps.key.src].faults.dups;
+        ++cf.duped;
+        util::Arena::retain(ps.chunk);
+        deliver_one(ps);
+      }
+    }
+  }
+  deliver_one(ps);
+}
+
+void Engine::deliver_one(const PendingSend& ps) {
   const std::size_t bytes = ps.size;
   double arrival;
   if (ps.loc == Locality::network && model_.params().use_injection_cap) {
@@ -357,7 +492,16 @@ void Engine::deliver(const PendingSend& ps) {
     // bandwidth and must not extend the NIC busy window: a late-departing
     // empty message would otherwise re-contaminate the queue across a
     // sync_reset measurement boundary.
-    if (bytes > 0) nic_free_[node] = inject + model_.nic_occupancy(bytes);
+    if (bytes > 0) {
+      double occ = model_.nic_occupancy(bytes);
+      if (fault_nic_) {
+        for (const auto& e : faults_.events)
+          if (e.kind == FaultSpec::Kind::nic_slowdown &&
+              (e.node < 0 || e.node == node) && in_window(e, ps.depart))
+            occ /= e.severity;
+      }
+      nic_free_[node] = inject + occ;
+    }
     arrival = inject + model_.transfer_time(ps.loc, bytes);
   } else {
     arrival = ps.depart + model_.transfer_time(ps.loc, bytes);
@@ -384,7 +528,14 @@ void Engine::deliver(const PendingSend& ps) {
         LinkStats& ls = st.link[static_cast<std::size_t>(tier)];
         ls.max_backlog_seconds =
             std::max(ls.max_backlog_seconds, free_at - arrival);
-        const double occ = model_.link_occupancy(bytes, link_rate_eff_[tier]);
+        double rate = link_rate_eff_[tier];
+        if (fault_brownout_) {
+          for (const auto& e : faults_.events)
+            if (e.kind == FaultSpec::Kind::link_brownout &&
+                (e.tier < 0 || e.tier == tier) && in_window(e, ps.depart))
+              rate *= e.severity;
+        }
+        const double occ = model_.link_occupancy(bytes, rate);
         ls.busy_seconds += occ;
         arrival = std::max(arrival, free_at) + occ;
         free_at = arrival;
@@ -419,7 +570,45 @@ void Engine::deliver(const PendingSend& ps) {
   if (dst.parked && dst.parked_key == ps.key) {
     ready_.push_back(dst.parked);
     dst.parked = {};
+    dst.parked_deadline = RankState::kNoDeadline;
   }
+}
+
+bool Engine::fire_earliest_timeout() {
+  int best = -1;
+  for (int r = 0; r < static_cast<int>(rank_.size()); ++r) {
+    const RankState& rs = rank_[r];
+    if (!rs.parked || rs.parked_deadline == RankState::kNoDeadline) continue;
+    if (best < 0 || rs.parked_deadline < rank_[best].parked_deadline)
+      best = r;
+  }
+  if (best < 0) return false;
+  RankState& rs = rank_[best];
+  // The rank waited until its deadline: advance its clock there (the
+  // deadline is now() + timeout at park time, so this never rewinds).
+  clocks_[best] = std::max(clocks_[best], rs.parked_deadline);
+  ++stats_[best].faults.timeouts;
+  rs.timed_out = true;
+  ready_.push_back(rs.parked);
+  rs.parked = {};
+  rs.parked_deadline = RankState::kNoDeadline;
+  return true;
+}
+
+void Engine::park_until(const ChannelKey& key, std::coroutine_handle<> h,
+                        double deadline) {
+  park(key, h);
+  rank_[key.dst].parked_deadline = deadline;
+}
+
+bool Engine::finish_timed_wait(Request& req) {
+  RankState& rs = rank_[req.key().dst];
+  if (rs.timed_out) {
+    rs.timed_out = false;
+    return false;
+  }
+  complete_recv(req);
+  return true;
 }
 
 double Engine::max_clock() const {
@@ -480,7 +669,7 @@ Task<> Engine::sync_reset(Context& ctx, bool clear_stats) {
 }
 
 void Engine::post_send(const Comm& comm, int src_local, int dst_local, int tag,
-                       std::span<const std::byte> payload) {
+                       std::span<const std::byte> payload, bool control) {
   const int gsrc = comm.global(src_local);
   const int gdst = comm.global(dst_local);
   const Locality loc = machine_.classify(gsrc, gdst);
@@ -506,7 +695,7 @@ void Engine::post_send(const Comm& comm, int src_local, int dst_local, int tag,
   // are computed at the phase commit (deliver), not here.
   rs.journal.push_back(PendingSend{ChannelKey{comm.id(), gsrc, gdst, tag},
                                    alloc.data, payload.size(), alloc.chunk,
-                                   clk, loc});
+                                   clk, loc, control});
 }
 
 bool Engine::has_message(const ChannelKey& key) const {

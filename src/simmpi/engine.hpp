@@ -27,12 +27,14 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <unordered_map>  // lint:allow(unordered-container) comm_cache_ below
 #include <vector>
 
 #include "simmpi/comm.hpp"
 #include "simmpi/cost_model.hpp"
+#include "simmpi/fault.hpp"
 #include "simmpi/machine.hpp"
 #include "simmpi/task.hpp"
 #include "simmpi/types.hpp"
@@ -63,6 +65,15 @@ class Context {
   /// Send requests complete locally; receive requests block until the
   /// matching message has been posted.
   auto wait(Request& req);
+  /// Awaitable completing a started *receive* request, or timing out: the
+  /// result is true when the message was received, false when virtual
+  /// time reached `deadline` first (the request stays armed — a later
+  /// wait can still complete it).  Timeouts fire only under global
+  /// quiescence (no rank runnable), earliest deadline first, so they are
+  /// as deterministic as everything else; the timing-out rank's clock
+  /// advances to the deadline.  Foundation of the reliability layer's
+  /// timeout-retransmit (mpix::Reliability).
+  auto wait_until(Request& req, double deadline);
   /// Complete a set of requests (MPI_Waitall).  Requests are completed in
   /// the order given; clocks advance monotonically regardless of order.
   Task<> wait_all(std::span<Request> reqs);
@@ -102,6 +113,17 @@ class Engine {
     double max_backlog_seconds = 0.0;  ///< worst queue wait encountered
     bool operator==(const LinkStats&) const = default;
   };
+  /// Fault-injection and reliability counters of one rank (all zero
+  /// without a FaultPlan).  Drops/duplications are attributed to the
+  /// *sender* of the affected message; retransmits and timeout fires to
+  /// the rank running the reliable sender protocol.
+  struct FaultStats {
+    std::uint64_t drops = 0;        ///< messages dropped in flight
+    std::uint64_t dups = 0;         ///< duplicate deliveries injected
+    std::uint64_t retransmits = 0;  ///< reliability-layer resends
+    std::uint64_t timeouts = 0;     ///< wait_until deadlines that fired
+    bool operator==(const FaultStats&) const = default;
+  };
   struct RankStats {
     TierStats tier[kNumLocalities];
     /// Simulated local computation charged via Context::compute (overlap
@@ -112,6 +134,7 @@ class Engine {
     /// CostParams::use_link_cap is off or this rank never crossed a
     /// switch boundary.
     std::vector<LinkStats> link;
+    FaultStats faults;
     std::uint64_t total_msgs() const {
       std::uint64_t n = 0;
       for (const auto& t : tier) n += t.msgs;
@@ -124,6 +147,7 @@ class Engine {
       for (auto& t : tier) t = TierStats{};
       compute_seconds = 0.0;
       for (auto& l : link) l = LinkStats{};
+      faults = FaultStats{};
     }
     bool operator==(const RankStats&) const = default;
   };
@@ -149,6 +173,26 @@ class Engine {
   /// Maximum clock across ranks (completion time of the last rank).
   double max_clock() const;
 
+  /// Attach (replacing any previous) a fault schedule.  Validates against
+  /// this engine's machine and cost model; pass a default-constructed
+  /// plan to clear.  Without a plan — or with one whose events are all
+  /// no-ops (rate 0 / severity 1) — the engine is byte-inert: it takes
+  /// the identical hot path and produces byte-identical schedules.
+  void set_fault_plan(FaultPlan plan);
+  const FaultPlan& fault_plan() const { return faults_; }
+
+  /// Per-channel delivery accounting, maintained only while a fault plan
+  /// with drop/duplication events is attached (commit-step-only writes).
+  struct ChanFaultCounts {
+    std::uint64_t sent = 0;     ///< messages committed on the channel
+    std::uint64_t dropped = 0;  ///< of those, dropped in flight
+    std::uint64_t duped = 0;    ///< duplicate copies injected
+  };
+  /// Accounting for one channel; nullptr when nothing was recorded.
+  const ChanFaultCounts* channel_faults(const ChannelKey& key) const {
+    return fault_chan_.find(key);
+  }
+
   const RankStats& stats(int rank) const { return stats_[rank]; }
   /// Max over ranks of messages sent in the given tiers.
   std::uint64_t max_msgs(std::initializer_list<Locality> tiers) const;
@@ -171,13 +215,25 @@ class Engine {
   /// Post a message: advances the sender clock, counts statistics, and
   /// journals the send for delivery at the next phase commit (arrival times
   /// and NIC occupancy are computed there, in deterministic rank order).
+  /// `control` marks protocol traffic exempt from drop/duplication under
+  /// FaultPlan::protect_control.
   void post_send(const Comm& comm, int src_local, int dst_local, int tag,
-                 std::span<const std::byte> payload);
+                 std::span<const std::byte> payload, bool control = false);
   /// Whether a *committed* message is available on `key` (messages of the
   /// current phase only become visible at its commit).
   bool has_message(const ChannelKey& key) const;
   /// Park the current coroutine until a message for `key` is committed.
   void park(const ChannelKey& key, std::coroutine_handle<> h);
+  /// Park like park(), but additionally eligible for a timeout wake at
+  /// `deadline` (fired only under global quiescence; see
+  /// Context::wait_until).
+  void park_until(const ChannelKey& key, std::coroutine_handle<> h,
+                  double deadline);
+  /// Resolve a timed wait after resumption: false when the park timed
+  /// out (request stays armed), true after completing the receive.
+  bool finish_timed_wait(Request& req);
+  /// Count one reliability-layer retransmission against `rank`.
+  void note_retransmit(int rank) { ++stats_[rank].faults.retransmits; }
   /// Take the front message of a channel and charge receive overheads.
   void complete_recv(Request& req);
   /// Next internal (collective) tag for this (comm, rank); identical call
@@ -198,8 +254,12 @@ class Engine {
   /// Charge `seconds` of simulated local computation to `rank`: advances
   /// its virtual clock and accumulates RankStats::compute_seconds.  Purely
   /// per-rank state, so calls from concurrently executing rank coroutines
-  /// are race-free and the schedule stays width-independent.
+  /// are race-free and the schedule stays width-independent.  Compute
+  /// stalls (FaultSpec::Kind::compute_stall) stretch the charge here: the
+  /// stretch reads only this rank's clock and the immutable fault plan,
+  /// so it is in the same width-safety class as the charge itself.
   void add_compute(int rank, double seconds) {
+    if (fault_stalls_) seconds *= stall_stretch(rank, clocks_[rank]);
     clocks_[rank] += seconds;
     stats_[rank].compute_seconds += seconds;
   }
@@ -230,6 +290,7 @@ class Engine {
     util::Arena::Chunk* chunk = nullptr;
     double depart = 0.0;  ///< sender clock after the send overhead
     Locality loc = Locality::self;
+    bool control = false;  ///< protocol ack (see FaultPlan::protect_control)
   };
 
   /// FIFO of committed, undelivered messages on one channel.  A plain
@@ -275,8 +336,14 @@ class Engine {
     std::size_t chan_count = 0;
     std::vector<ChannelQueue> channels;
     std::vector<std::uint32_t> free_channels;  ///< drained queue indices
+    static constexpr double kNoDeadline =
+        std::numeric_limits<double>::infinity();
     std::coroutine_handle<> parked{};  ///< this rank's blocked coroutine
     ChannelKey parked_key{};
+    /// Timeout of a wait_until park (kNoDeadline for plain parks).
+    double parked_deadline = kNoDeadline;
+    /// Set by fire_earliest_timeout, consumed by finish_timed_wait.
+    bool timed_out = false;
     int inbox_count = 0;  ///< committed, unreceived messages
     std::vector<PendingSend> journal;
     bool nic_reset_request = false;  ///< set by sync_reset, folded at commit
@@ -299,7 +366,19 @@ class Engine {
   };
 
   void commit_phase();
+  /// Fault gate: decides drop/duplication for one journaled send, then
+  /// forwards surviving copies to deliver_one.  Commit step only.
   void deliver(const PendingSend& ps);
+  /// Charge NIC/link/ejection queues and enqueue into the destination
+  /// mailbox (the pre-fault deliver body).  Commit step only.
+  void deliver_one(const PendingSend& ps);
+  /// Wake the timed park with the earliest (deadline, rank); false when
+  /// none exists.  Called only under global quiescence (ready_ empty), so
+  /// firing order is a pure function of the schedule.
+  bool fire_earliest_timeout();
+  /// Time multiplier (>= 1) faults apply to compute charged to `rank` at
+  /// virtual time `when`.
+  double stall_stretch(int rank, double when) const;
   void check_quiescent();
 
   Machine machine_;
@@ -338,6 +417,19 @@ class Engine {
   // sync_reset generation state (commit-side; see sync_reset)
   int sync_arrivals_ = 0;
 
+  // Fault injection (see fault.hpp).  The plan is immutable while running;
+  // the booleans cache which fault classes have any effective event, so
+  // the fault-free hot path stays branch-only (byte-inert contract).
+  FaultPlan faults_;
+  bool fault_msgs_ = false;      // any msg_drop / msg_dup with rate > 0
+  bool fault_stalls_ = false;    // any compute_stall with severity < 1
+  bool fault_brownout_ = false;  // any link_brownout with severity < 1
+  bool fault_nic_ = false;       // any nic_slowdown with severity < 1
+  /// Per-channel sequence + delivery accounting; written only in the
+  /// commit step, only while fault_msgs_ (steady workloads on persistent
+  /// channels stop growing it after the first iteration).
+  util::FlatMap<ChannelKey, ChanFaultCounts> fault_chan_;
+
   bool running_ = false;
 };
 
@@ -370,5 +462,28 @@ struct WaitAwaiter {
 };
 
 inline auto Context::wait(Request& req) { return WaitAwaiter{*this, req}; }
+
+/// Awaiter for a receive-with-timeout (Context::wait_until).  Resumes with
+/// true when the message arrived, false when the deadline fired first.
+struct TimedWaitAwaiter {
+  Context& ctx;
+  Request& req;
+  double deadline;
+  bool await_ready() const {
+    if (!req.started()) throw SimError("wait_until on inactive request");
+    if (req.is_send())
+      throw SimError("wait_until: send requests complete locally; "
+                     "timeouts apply to receives only");
+    return ctx.engine().has_message(req.key());
+  }
+  void await_suspend(std::coroutine_handle<> h) const {
+    ctx.engine().park_until(req.key(), h, deadline);
+  }
+  bool await_resume() const { return ctx.engine().finish_timed_wait(req); }
+};
+
+inline auto Context::wait_until(Request& req, double deadline) {
+  return TimedWaitAwaiter{*this, req, deadline};
+}
 
 }  // namespace simmpi

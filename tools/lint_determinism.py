@@ -31,7 +31,9 @@ enforce mechanically; this linter makes violating them a build failure
   naked-new
       No naked `new` / `delete` expressions in the engine hot-path files
       guarded by the PR 5 zero-allocation test (src/simmpi/engine.*,
-      src/simmpi/task.hpp, src/util/arena.*).  Steady-state allocations
+      src/simmpi/task.hpp, src/util/arena.*, and the fault-injection /
+      reliable-delivery paths src/simmpi/fault.*, src/mpix/reliable.*
+      that run inside faulted steady state).  Steady-state allocations
       there must go through the arena or the frame pool; a stray `new`
       defeats the zero-allocation guarantee the EngineAlloc suite pins.
 
@@ -87,7 +89,9 @@ RULES = {
             r"|(?<![\w_])delete(?:\s*\[\s*\])?\s+[A-Za-z_:(*]"
         ),
         ["src/simmpi/engine.cpp", "src/simmpi/engine.hpp",
-         "src/simmpi/task.hpp", "src/util/arena.cpp", "src/util/arena.hpp"],
+         "src/simmpi/task.hpp", "src/util/arena.cpp", "src/util/arena.hpp",
+         "src/simmpi/fault.cpp", "src/simmpi/fault.hpp",
+         "src/mpix/reliable.cpp", "src/mpix/reliable.hpp"],
         "engine hot-path files are guarded by the zero-allocation test; "
         "allocate via the arena or frame pool",
     ),
